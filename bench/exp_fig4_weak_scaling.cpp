@@ -1,0 +1,99 @@
+// Fig. 4: 'weak' scaling of the benchmark on Frontier — penalized GFLOP/s
+// per GCD vs node count for the paper's optimized code ("present") and the
+// reference implementation ("xsdk"). Paper observations: flat scaling to
+// ~1024 nodes, efficiency dropping to 78% at 9408 nodes (allreduce latency
+// in CGS2 + coarse-level communication), xsdk far lower and flat.
+//
+// Reproduction: (a) real runs at 1..8 virtual ranks on this host (time-
+// shared: per-rank numbers scale down with P by construction — shape only);
+// (b) measured single-rank iteration profiles projected through the
+// Frontier machine model over the paper's node counts.
+#include <cmath>
+
+#include "comm/thread_comm.hpp"
+#include "exhibit_common.hpp"
+
+int main() {
+  using namespace hpgmx;
+  using namespace hpgmx::bench;
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
+                                              /*seconds=*/1.0);
+  banner("EXP fig4 weak-scaling (paper Fig. 4)",
+         "present: ~flat to 1024 nodes, 78% efficiency at 9408 nodes "
+         "(17.23 PF total); xsdk: ~5-7x lower, flat");
+
+  // --- measure single-rank per-iteration profiles on both code paths -----
+  double opt_overlap = 0.95;  // measured separately by exp_fig9_trace
+  IterationProfile prof_present, prof_xsdk;
+  double flops_per_iter = 0;
+  {
+    BenchParams p = cfg.params;
+    p.opt = OptLevel::Optimized;
+    BenchmarkDriver driver(p, 1);
+    const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
+    prof_present = iteration_profile_from_phase(mxp, p, 1, opt_overlap);
+    flops_per_iter = prof_present.flops;
+    std::printf("measured optimized mxp: %.3f ms/iter, %.1f MFLOP/iter\n",
+                prof_present.local_seconds * 1e3, flops_per_iter * 1e-6);
+  }
+  {
+    BenchParams p = cfg.params;
+    p.opt = OptLevel::Reference;
+    BenchmarkDriver driver(p, 1);
+    const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
+    prof_xsdk = iteration_profile_from_phase(mxp, p, 1, /*overlap=*/0.0);
+    std::printf("measured reference mxp: %.3f ms/iter (xsdk path)\n\n",
+                prof_xsdk.local_seconds * 1e3);
+  }
+
+  // --- (a) real multi-rank runs on this host ------------------------------
+  std::printf("real virtual-rank runs (time-shared on this host; per-rank\n"
+              "throughput divides by P — read the *shape*, not the level):\n");
+  std::printf("%8s %14s %14s\n", "ranks", "GF/s total", "GF/s per rank");
+  for (const int p : {1, 2, 4, 8}) {
+    BenchParams bp = cfg.params;
+    bp.bench_seconds = cfg.params.bench_seconds / 2;
+    BenchmarkDriver driver(bp, p);
+    const PhaseResult mxp = driver.run_phase(true);
+    std::printf("%8d %14.3f %14.3f\n", p, mxp.raw_gflops,
+                mxp.raw_gflops / p);
+  }
+
+  // --- (b) machine-model projection over the paper's scale ---------------
+  // Two rescalings take the measured profile to a Frontier GCD: (1) the
+  // paper's per-GCD workload is 320^3 — scale work volume by (320/nx)^3;
+  // (2) a GCD streams ~1.6 TB/s vs this host's measured rate — scale local
+  // time by the bandwidth ratio. The weak-scaling *shape* then comes
+  // entirely from the communication model.
+  const MachineModel frontier = MachineModel::frontier_gcd();
+  const double host_bw = env_double_or("HPGMX_HOST_BW_GBS", 10.0);
+  const double bw_scale = host_bw / frontier.mem_bw_gbs;
+  const double vol_scale =
+      std::pow(320.0 / static_cast<double>(cfg.params.nx), 3.0);
+  prof_present.local_seconds *= bw_scale * vol_scale;
+  prof_present.flops = flops_per_iter * vol_scale;
+  prof_present.halo_bytes = 6.0 * 320.0 * 320.0 * sizeof(double) *
+                            (1 + 2 * cfg.params.mg_levels);
+  prof_xsdk.local_seconds *= bw_scale * vol_scale;
+  prof_xsdk.flops = prof_xsdk.flops * vol_scale;
+  prof_xsdk.halo_bytes = prof_present.halo_bytes;
+
+  const std::vector<int> nodes{1, 2, 8, 64, 512, 1024, 4096, 9408};
+  const auto pts_present =
+      project_weak_scaling(frontier, prof_present, nodes);
+  const auto pts_xsdk = project_weak_scaling(frontier, prof_xsdk, nodes);
+  std::printf("\nFrontier-model projection (GF/s per GCD, mxp):\n");
+  std::printf("%8s %12s %12s %12s\n", "nodes", "present", "xsdk",
+              "present eff");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::printf("%8d %12.1f %12.1f %11.1f%%\n", pts_present[i].nodes,
+                pts_present[i].gflops_per_rank, pts_xsdk[i].gflops_per_rank,
+                pts_present[i].efficiency * 100.0);
+  }
+  const double full_pf = pts_present.back().gflops_per_rank *
+                         static_cast<double>(pts_present.back().ranks) * 1e-6;
+  std::printf("\nprojected full-system: %.2f PF  (paper: 17.23 PF at 9408 "
+              "nodes, 78%% weak-scaling efficiency)\n",
+              full_pf);
+  return 0;
+}

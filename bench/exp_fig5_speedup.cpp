@@ -1,0 +1,66 @@
+// Fig. 5: penalized speedup of mixed-precision GMRES-IR over double GMRES,
+// overall and per computational motif, for the optimized implementation
+// ("present") and the reference path ("xsdk").
+//
+// Paper: present total ≈ 1.6x (vs theoretical 2x), Ortho ≈ 2x (dense BLAS-2
+// benefits fully), GS/SpMV lower (index arrays don't shrink with
+// precision), xsdk substantially lower overall.
+#include "exhibit_common.hpp"
+
+int main() {
+  using namespace hpgmx;
+  using namespace hpgmx::bench;
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
+                                              /*seconds=*/1.0);
+  banner("EXP fig5 motif speedups (paper Fig. 5)",
+         "present: total 1.6x, Ortho ~2x, GS/SpMV ~1.4-1.5x; xsdk lower");
+
+  const Motif motifs[] = {Motif::GS, Motif::Ortho, Motif::SpMV,
+                          Motif::Restrict};
+  for (const OptLevel opt : {OptLevel::Optimized, OptLevel::Reference}) {
+    BenchParams p = cfg.params;
+    p.opt = opt;
+    // Small validation problem keeps the harness quick; the penalty feeds
+    // the speedups as in the paper.
+    p.validation_ranks = 1;
+    BenchmarkDriver driver(p, cfg.ranks);
+    BenchReport report;
+    report.params = p;
+    report.ranks = cfg.ranks;
+    report.validation = driver.run_validation(ValidationMode::Standard);
+    report.mxp = driver.run_phase(true);
+    report.dbl = driver.run_phase(false);
+
+    std::printf("\n--- %s path ('%s' series) ---\n", opt_level_name(opt),
+                opt == OptLevel::Optimized ? "present" : "xsdk");
+    std::printf("penalty (n_d/n_ir capped): %.3f\n",
+                report.validation.penalty());
+    std::printf("%-8s %14s %14s %10s %10s\n", "motif", "mxp GF/s",
+                "double GF/s", "raw", "penalized");
+    const double pen = report.validation.penalty();
+    std::printf("%-8s %14.2f %14.2f %9.2fx %9.2fx\n", "TOTAL",
+                report.mxp.raw_gflops, report.dbl.raw_gflops,
+                report.dbl.raw_gflops > 0
+                    ? report.mxp.raw_gflops / report.dbl.raw_gflops
+                    : 0.0,
+                report.speedup());
+    for (const Motif m : motifs) {
+      const double d = report.dbl.stats.gflops(m);
+      std::printf("%-8s %14.2f %14.2f %9.2fx %9.2fx\n",
+                  std::string(motif_name(m)).c_str(),
+                  report.mxp.stats.gflops(m), d,
+                  d > 0 ? report.mxp.stats.gflops(m) / d : 0.0,
+                  d > 0 ? report.mxp.stats.gflops(m) * pen / d : 0.0);
+    }
+  }
+  std::printf(
+      "\npaper Fig. 5 (present, Frontier): TOTAL 1.6x penalized (penalty\n"
+      "0.968, so raw ≈ penalized there), Ortho ~2.0x, GS ~1.4x, SpMV ~1.4x,\n"
+      "Restr ~1.6x. At laptop scale the penalty is harsher (~0.75: the\n"
+      "refinement overhead amortizes over few iterations), so compare the\n"
+      "RAW column for the bandwidth story and the penalized column for the\n"
+      "benchmark metric. On a scalar CPU the levels are lower than on GPUs;\n"
+      "the direction (mxp ≥ double, Restr/GS gains) must hold at\n"
+      "memory-resident sizes (HPGMX_NX=96).\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig. 9: rocprof traces of a 'middle' rank during an 8-node run showing
+// that halo communication is completely hidden behind the interior
+// Gauss–Seidel kernel on the fine grid (9a) but NOT fully hidden on the
+// coarsest grid (9b), whose surface-to-volume ratio is worse.
+//
+// Reproduction: run multigrid V-cycles at 8 virtual ranks with the trace
+// recorder attached, pick the rank with the most neighbors, render per-level
+// ASCII timelines and print the halo-hidden-behind-compute fraction per
+// level.
+#include <algorithm>
+
+#include "comm/thread_comm.hpp"
+#include "core/multigrid.hpp"
+#include "exhibit_common.hpp"
+#include "perf/trace.hpp"
+
+int main() {
+  using namespace hpgmx;
+  using namespace hpgmx::bench;
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/8);
+  banner("EXP fig9 compute-communication overlap traces (paper Fig. 9)",
+         "fine grid: halo fully hidden behind interior GS; coarsest grid: "
+         "overlap incomplete");
+
+  const int ranks = cfg.ranks;
+  const ProcessGrid pgrid = ProcessGrid::create(ranks);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = cfg.params.nx;
+
+  // A 'middle' rank communicates with the most neighbors; with 8 ranks on a
+  // 2x2x2 grid every rank has 7 — rank 0 serves as the observed rank.
+  const int observed = 0;
+  const int sweeps = static_cast<int>(env_int_or("HPGMX_TRACE_SWEEPS", 20));
+  const int levels_cap = cfg.params.mg_levels;
+
+  // One recorder per level so per-level overlap can be separated.
+  std::vector<TraceRecorder> recorders(static_cast<std::size_t>(levels_cap));
+  std::vector<local_index_t> level_rows(static_cast<std::size_t>(levels_cap),
+                                        0);
+  std::vector<double> level_halo_bytes(static_cast<std::size_t>(levels_cap),
+                                       0.0);
+  std::vector<int> level_msgs(static_cast<std::size_t>(levels_cap), 0);
+
+  ThreadCommWorld::execute(ranks, [&](Comm& comm) {
+    const ProblemHierarchy h =
+        build_hierarchy(generate_problem(pgrid, comm.rank(), pp),
+                        levels_cap, cfg.params.coloring_seed);
+    Multigrid<float> mg(h, cfg.params);
+    for (int l = 0; l < mg.num_levels(); ++l) {
+      if (comm.rank() == observed) {
+        level_rows[static_cast<std::size_t>(l)] = mg.level_op(l).num_owned();
+        const HaloPattern& pat = h.levels[static_cast<std::size_t>(l)].halo;
+        for (const auto& nb : pat.neighbors) {
+          level_halo_bytes[static_cast<std::size_t>(l)] +=
+              static_cast<double>(nb.send_indices.size() +
+                                  static_cast<std::size_t>(nb.recv_count)) *
+              sizeof(float);
+          level_msgs[static_cast<std::size_t>(l)] += 2;
+        }
+      }
+      mg.level_op(l).set_event_sink(&recorders[static_cast<std::size_t>(l)]);
+      AlignedVector<float> z(
+          static_cast<std::size_t>(mg.level_op(l).vec_len()), 0.0f);
+      const auto& b = h.levels[static_cast<std::size_t>(l)].b;
+      AlignedVector<float> bf(b.size());
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        bf[i] = static_cast<float>(b[i]);
+      }
+      for (int s = 0; s < sweeps; ++s) {
+        mg.level_op(l).gs_forward(comm,
+                                  std::span<const float>(bf.data(), bf.size()),
+                                  std::span<float>(z.data(), z.size()));
+      }
+    }
+  });
+
+  // On a time-shared host, halo 'wait' time includes other ranks' compute
+  // slices, so the paper's observable is computed as: measured interior
+  // kernel time per sweep vs the *wire* time a real network would need for
+  // this level's messages (host machine model). hidden = min(1, int/wire).
+  const MachineModel net = MachineModel::host(/*bw, unused here*/ 10.0);
+  std::printf("rank %d of %d, %d GS sweeps per level, local fine grid %d^3\n",
+              observed, ranks, sweeps, cfg.params.nx);
+  std::printf("\n%-6s %11s %14s %14s %18s\n", "level", "local rows",
+              "interior ms", "wire-time ms", "halo hidden");
+  for (int l = 0; l < levels_cap; ++l) {
+    double interior_s = 0;
+    for (const auto& e : recorders[static_cast<std::size_t>(l)].events_for(
+             observed)) {
+      if (e.name == "GS-int-c0") {
+        interior_s += e.t_end - e.t_begin;
+      }
+    }
+    interior_s /= sweeps;
+    const double wire_s =
+        (level_msgs[static_cast<std::size_t>(l)] * net.halo_msg_us +
+         level_halo_bytes[static_cast<std::size_t>(l)] /
+             (net.link_gbs * 1e3)) *
+        1e-6;
+    const double hidden =
+        wire_s > 0 ? std::min(1.0, interior_s / wire_s) : 1.0;
+    std::printf("%-6d %11d %14.4f %14.4f %17.1f%%\n", l,
+                level_rows[static_cast<std::size_t>(l)], interior_s * 1e3,
+                wire_s * 1e3, hidden * 100.0);
+  }
+
+  std::printf("\nfine-grid timeline (level 0; p=pack/post, w=wait, "
+              "G=interior GS c0):\n%s",
+              recorders[0].render_timeline(observed).c_str());
+  std::printf("\ncoarsest-grid timeline (level %d):\n%s", levels_cap - 1,
+              recorders[static_cast<std::size_t>(levels_cap - 1)]
+                  .render_timeline(observed)
+                  .c_str());
+  std::printf(
+      "\npaper Fig. 9: fine grid (9a) hides pack+copy+comm entirely behind\n"
+      "the first-color interior kernel; the coarsest grid (9b) cannot —\n"
+      "its communication surface is too large relative to the interior\n"
+      "work. Check: 'halo hidden' near 100%% on level 0, dropping on the\n"
+      "coarsest level.\n");
+  return 0;
+}

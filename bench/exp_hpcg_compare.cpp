@@ -1,0 +1,66 @@
+// §4.1 comparison: the paper reports 17.23 PF for HPG-MxP (mxp) on 9408
+// nodes vs 10.4 PF for HPCG on the same machine — different solvers, so
+// the numbers are indicative, not directly comparable (the paper says so).
+//
+// Reproduction: run our HPCG-style CG (symmetric-GS multigrid) and the
+// HPG-MxP GMRES-IR benchmark on the same problem and report both model
+// GFLOP/s figures and their ratio.
+#include "core/cg.hpp"
+#include "exhibit_common.hpp"
+
+int main() {
+  using namespace hpgmx;
+  using namespace hpgmx::bench;
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
+                                              /*seconds=*/0.8);
+  banner("EXP hpcg-compare (paper §4.1)",
+         "full-system HPG-MxP mxp 17.23 PF vs HPCG 10.4 PF (ratio 1.66, "
+         "not directly comparable)");
+
+  // HPG-MxP mxp phase.
+  BenchmarkDriver driver(cfg.params, cfg.ranks);
+  const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
+
+  // HPCG-style run: fixed-iteration CG with symmetric-GS multigrid, double.
+  ProblemParams pp;
+  pp.nx = cfg.params.nx;
+  pp.ny = cfg.params.ny;
+  pp.nz = cfg.params.nz;
+  const ProblemHierarchy h =
+      build_hierarchy(generate_problem(ProcessGrid(1, 1, 1), 0, pp),
+                      cfg.params.mg_levels, cfg.params.coloring_seed);
+  SelfComm comm;
+  SymmetricMultigrid<double> mg(h, cfg.params);
+  SolverOptions opts;
+  opts.max_iters = cfg.params.max_iters_per_solve;
+  opts.tol = 0.0;
+  ConjugateGradient<double> cg(&mg.level_op(0), &mg, opts);
+  MotifStats cg_stats;
+  cg.set_stats(&cg_stats);
+
+  WallTimer timer;
+  int cg_iters = 0;
+  while (timer.seconds() < cfg.params.bench_seconds) {
+    AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+    const SolveResult res = cg.solve(
+        comm,
+        std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+        std::span<double>(x.data(), x.size()));
+    cg_iters += res.iterations;
+  }
+  const double cg_gflops =
+      static_cast<double>(cg_stats.total_flops()) / timer.seconds() * 1e-9;
+
+  std::printf("%-28s %12s %12s\n", "", "GFLOP/s", "iters run");
+  std::printf("%-28s %12.2f %12d\n", "HPG-MxP mxp (GMRES-IR)",
+              mxp.raw_gflops, mxp.iterations);
+  std::printf("%-28s %12.2f %12d\n", "HPCG-style (CG, sym-GS MG)", cg_gflops,
+              cg_iters);
+  std::printf("%-28s %11.2fx\n", "ratio",
+              cg_gflops > 0 ? mxp.raw_gflops / cg_gflops : 0.0);
+  std::printf("\npaper: 17.23 PF vs 10.4 PF => 1.66x. Expect a ratio > 1\n"
+              "here too: the GMRES-IR benchmark gets its fp32 bandwidth\n"
+              "advantage while CG runs all-double with symmetric (2x) GS\n"
+              "smoothing.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 2: iteration ratios n_d/n_ir under the two validation methods at
+// increasing scale, plus the fullscale achieved residual norm. Paper rows
+// (nodes: std-ratio, fullscale-ratio, fullscale relres):
+//     2: 0.968 0.966 9.98e-10        128: 0.968 1.023 2.82e-6
+//     8: 0.968 1.008 9.99e-10       1024: 0.968 1.067 1.154e-5
+//    64: 0.968 1.050 1.65e-6        4096: 0.968 0.958 1.148e-5
+// Key mechanism: the standard ratio is scale-independent (fixed 1-node
+// problem); the fullscale double solve converges to 1e-9 at small scale but
+// hits the iteration cap at large scale, so the recorded target relaxes.
+//
+// Reproduction: virtual-rank counts 1..8 with a scaled-down iteration cap
+// (HPGMX_T2_CAP) chosen so small worlds converge and large worlds hit the
+// cap — the same two regimes as the paper's 8-node/64-node boundary.
+#include "exhibit_common.hpp"
+
+int main() {
+  using namespace hpgmx;
+  using namespace hpgmx::bench;
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/16, /*ranks=*/8);
+  banner("EXP table2 validation methodologies (paper Table 2 / §3.3)",
+         "std ratio constant ~0.968; fullscale hits the cap at scale and "
+         "its target relaxes above 1e-9");
+
+  const int cap = static_cast<int>(env_int_or("HPGMX_T2_CAP", 25));
+  std::printf("iteration cap (scaled from the paper's 10000): %d\n\n", cap);
+  std::printf("%8s %10s %12s %22s %12s\n", "ranks", "std", "fullscale",
+              "fullscale relres", "d hit cap?");
+
+  for (const int ranks : {1, 2, 4, 8}) {
+    if (ranks > cfg.ranks) {
+      break;
+    }
+    BenchParams p = cfg.params;
+    p.validation_max_iters = cap;
+    p.validation_ranks = 1;  // standard: small fixed subset, as in §3
+    BenchmarkDriver driver(p, ranks);
+    const ValidationResult std_v =
+        driver.run_validation(ValidationMode::Standard);
+    const ValidationResult fs_v =
+        driver.run_validation(ValidationMode::FullScale);
+    std::printf("%8d %10.3f %12.3f %22.3e %12s\n", ranks, std_v.ratio(),
+                fs_v.ratio(), fs_v.achieved_tol,
+                fs_v.d_converged ? "no" : "yes");
+  }
+  std::printf(
+      "\ncheck against Table 2: (1) the std column is constant across rows\n"
+      "(same fixed small problem each time); (2) rows where the double\n"
+      "solve hits the cap report a relaxed target (> 1e-9), and the\n"
+      "fullscale ratio stays near 1 — the paper's conclusion that standard\n"
+      "small-scale validation is about as stringent as fullscale.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// §4 validation experiment: the paper reports that on 1 node (8 GCDs,
+// 320³ local grid) double GMRES takes n_d = 2305 iterations to converge 9
+// orders of magnitude and GMRES-IR takes n_ir = 2382 — ratio 0.968.
+//
+// We run the same standard validation (scaled down; grid/ranks via
+// HPGMX_NX / HPGMX_RANKS) and report n_d, n_ir and the penalty.
+#include "exhibit_common.hpp"
+
+int main() {
+  using namespace hpgmx;
+  using namespace hpgmx::bench;
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/16, /*ranks=*/8);
+  banner("EXP validation-1node (paper §4, validation paragraph)",
+         "320^3/GCD on 8 GCDs: n_d=2305, n_ir=2382, ratio 0.968");
+
+  cfg.params.validation_ranks = cfg.ranks;
+  BenchmarkDriver driver(cfg.params, cfg.ranks);
+  const ValidationResult v = driver.run_validation(ValidationMode::Standard);
+
+  std::printf("ranks=%d local=%dx%dx%d tol=%.0e\n", v.ranks, cfg.params.nx,
+              cfg.params.ny, cfg.params.nz, cfg.params.validation_tol);
+  std::printf("%-22s %8s %8s %8s %9s\n", "", "n_d", "n_ir", "ratio",
+              "penalty");
+  std::printf("%-22s %8d %8d %8.3f %9.3f\n", "measured (this host)", v.n_d,
+              v.n_ir, v.ratio(), v.penalty());
+  std::printf("%-22s %8d %8d %8.3f %9.3f\n", "paper (Frontier)", 2305, 2382,
+              2305.0 / 2382.0, 2305.0 / 2382.0);
+  std::printf("\nnote: at small global sizes GMRES-IR pays its refinement\n"
+              "overhead over few iterations, so the ratio sits below the\n"
+              "paper's 0.968; it approaches the paper as the global problem\n"
+              "grows (scale with HPGMX_NX / HPGMX_RANKS).\n");
+  return (v.d_converged && v.ir_converged) ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+// Google-benchmark microbenchmarks of the individual kernels, covering the
+// paper's §3.2 design choices as ablations:
+//   CSR vs ELL SpMV           (§3.2.2)
+//   level-scheduled vs multicolor Gauss–Seidel, fp64 vs fp32   (§3.2.1)
+//   fused vs unfused residual+restriction                      (§3.2.4)
+//   dot/WAXPBY in fp64 vs fp32 (memory-bound 2x expectation)
+#include <benchmark/benchmark.h>
+
+#include "blas/vector_ops.hpp"
+#include "coloring/coloring.hpp"
+#include "comm/comm.hpp"
+#include "core/multigrid.hpp"
+#include "grid/problem.hpp"
+#include "sparse/gauss_seidel.hpp"
+#include "sparse/kernels.hpp"
+
+namespace {
+
+using namespace hpgmx;
+
+Problem make_problem(local_index_t n) {
+  ProcessGrid pgrid(1, 1, 1);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = n;
+  return generate_problem(pgrid, 0, pp);
+}
+
+template <typename T>
+void bm_spmv_csr(benchmark::State& state) {
+  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(1));
+  AlignedVector<T> y(static_cast<std::size_t>(a.num_rows), T(0));
+  for (auto _ : state) {
+    csr_spmv(a, std::span<const T>(x.data(), x.size()),
+             std::span<T>(y.data(), y.size()));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (a.nnz() * (sizeof(T) + sizeof(local_index_t)) +
+                           a.num_rows * sizeof(T)));
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 *
+          static_cast<double>(a.nnz()),
+      benchmark::Counter::kIsRate);
+}
+
+template <typename T>
+void bm_spmv_ell(benchmark::State& state) {
+  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  const EllMatrix<T> e = ell_from_csr(a);
+  AlignedVector<T> x(static_cast<std::size_t>(e.num_cols), T(1));
+  AlignedVector<T> y(static_cast<std::size_t>(e.num_rows), T(0));
+  for (auto _ : state) {
+    ell_spmv(e, std::span<const T>(x.data(), x.size()),
+             std::span<T>(y.data(), y.size()));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      (e.padded_nnz() * (sizeof(T) + sizeof(local_index_t)) +
+       e.num_rows * sizeof(T)));
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 *
+          static_cast<double>(a.nnz()),
+      benchmark::Counter::kIsRate);
+}
+
+template <typename T>
+void bm_gs_levelsched(benchmark::State& state) {
+  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  const RowPartition levels = build_lower_level_schedule(a);
+  AlignedVector<T> r(static_cast<std::size_t>(a.num_rows), T(1));
+  AlignedVector<T> z(static_cast<std::size_t>(a.num_cols), T(0));
+  AlignedVector<T> t(static_cast<std::size_t>(a.num_rows), T(0));
+  for (auto _ : state) {
+    gs_sweep_reference(a, levels, std::span<const T>(r.data(), r.size()),
+                       std::span<T>(z.data(), z.size()),
+                       std::span<T>(t.data(), t.size()));
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.counters["levels"] = levels.num_groups();
+}
+
+template <typename T>
+void bm_gs_multicolor(benchmark::State& state) {
+  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  const EllMatrix<T> e = ell_from_csr(a);
+  const auto colors = jpl_color(a, 42);
+  const RowPartition part = color_partition(colors);
+  AlignedVector<T> r(static_cast<std::size_t>(a.num_rows), T(1));
+  AlignedVector<T> z(static_cast<std::size_t>(a.num_cols), T(0));
+  for (auto _ : state) {
+    gs_sweep_colored_ell(e, part, std::span<const T>(r.data(), r.size()),
+                         std::span<T>(z.data(), z.size()));
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.counters["colors"] = part.num_groups();
+}
+
+template <typename T>
+void bm_restrict_fused(benchmark::State& state) {
+  Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+  const CoarseLevel cl = coarsen(prob);
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  AlignedVector<T> b(static_cast<std::size_t>(a.num_rows), T(1));
+  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(0.5));
+  AlignedVector<T> rc(cl.c2f.size(), T(0));
+  for (auto _ : state) {
+    fused_restrict_residual(
+        a, std::span<const T>(b.data(), b.size()),
+        std::span<const T>(x.data(), x.size()),
+        std::span<const local_index_t>(cl.c2f.data(), cl.c2f.size()),
+        std::span<T>(rc.data(), rc.size()));
+    benchmark::DoNotOptimize(rc.data());
+  }
+}
+
+template <typename T>
+void bm_restrict_unfused(benchmark::State& state) {
+  Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+  const CoarseLevel cl = coarsen(prob);
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  AlignedVector<T> b(static_cast<std::size_t>(a.num_rows), T(1));
+  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(0.5));
+  AlignedVector<T> rf(static_cast<std::size_t>(a.num_rows), T(0));
+  AlignedVector<T> rc(cl.c2f.size(), T(0));
+  for (auto _ : state) {
+    csr_residual(a, std::span<const T>(b.data(), b.size()),
+                 std::span<const T>(x.data(), x.size()),
+                 std::span<T>(rf.data(), rf.size()));
+    inject_restrict(std::span<const local_index_t>(cl.c2f.data(), cl.c2f.size()),
+                    std::span<const T>(rf.data(), rf.size()),
+                    std::span<T>(rc.data(), rc.size()));
+    benchmark::DoNotOptimize(rc.data());
+  }
+}
+
+template <typename T>
+void bm_dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AlignedVector<T> x(n, T(1.5)), y(n, T(0.5));
+  SelfComm comm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot<T>(comm, std::span<const T>(x.data(), n),
+                                    std::span<const T>(y.data(), n)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * sizeof(T)));
+}
+
+template <typename T>
+void bm_waxpby(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AlignedVector<T> x(n, T(1.5)), y(n, T(0.5)), w(n, T(0));
+  for (auto _ : state) {
+    waxpby(2.0, std::span<const T>(x.data(), n), 3.0,
+           std::span<const T>(y.data(), n), std::span<T>(w.data(), n));
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * n * sizeof(T)));
+}
+
+}  // namespace
+
+BENCHMARK(bm_spmv_csr<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_spmv_csr<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_spmv_ell<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_spmv_ell<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_gs_levelsched<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_gs_multicolor<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_gs_multicolor<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_restrict_fused<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_restrict_unfused<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_dot<double>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_dot<float>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_waxpby<double>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_waxpby<float>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

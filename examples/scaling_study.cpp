@@ -1,0 +1,63 @@
+// Weak-scaling study across virtual rank counts plus machine-model
+// projection to the paper's exascale regime — a runnable miniature of the
+// experiment campaign behind Fig. 4.
+//
+//   $ ./scaling_study [max_ranks] [n_local]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/benchmark.hpp"
+#include "perf/bandwidth.hpp"
+#include "perf/machine_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpgmx;
+  const int max_ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const local_index_t n =
+      argc > 2 ? static_cast<local_index_t>(std::atoi(argv[2])) : 24;
+
+  BenchParams params;
+  params.nx = params.ny = params.nz = n;
+  params.bench_seconds = 0.5;
+
+  std::printf("weak scaling: %d^3 per rank, mxp phase, 1..%d virtual ranks\n",
+              n, max_ranks);
+  std::printf("%8s %10s %14s %16s\n", "ranks", "global", "GF/s total",
+              "ms per iteration");
+  double one_rank_seconds_per_iter = 0;
+  double flops_per_iter = 0;
+  for (int p = 1; p <= max_ranks; p *= 2) {
+    BenchmarkDriver driver(params, p);
+    const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
+    const double ms_it = mxp.wall_seconds / mxp.iterations * 1e3;
+    if (p == 1) {
+      one_rank_seconds_per_iter = mxp.wall_seconds / mxp.iterations;
+      flops_per_iter =
+          static_cast<double>(mxp.stats.total_flops()) / mxp.iterations;
+    }
+    std::printf("%8d %10lld %14.3f %16.2f\n", p,
+                static_cast<long long>(n) * n * n * p, mxp.raw_gflops, ms_it);
+  }
+
+  // Project the single-rank profile through the Frontier model.
+  const MachineModel frontier = MachineModel::frontier_gcd();
+  IterationProfile prof;
+  prof.local_seconds = one_rank_seconds_per_iter;
+  prof.flops = flops_per_iter;
+  prof.allreduces = 3;
+  prof.allreduce_bytes = 120;
+  prof.halo_messages = 26 * 9;
+  prof.halo_bytes = 6.0 * n * n * 8 * 9;
+  prof.overlap_efficiency = 0.95;
+  std::printf("\nFrontier-model projection of this profile:\n%8s %14s %12s\n",
+              "nodes", "GF/s per GCD", "efficiency");
+  for (const ScalePoint& pt : project_weak_scaling(
+           frontier, prof, std::vector<int>{1, 64, 1024, 9408})) {
+    std::printf("%8d %14.2f %11.1f%%\n", pt.nodes, pt.gflops_per_rank,
+                pt.efficiency * 100.0);
+  }
+  std::printf("\n(see bench/exp_fig4_weak_scaling for the full Fig. 4 "
+              "reproduction)\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "base/epoch.hpp"
+
+#include <chrono>
+
+namespace hpgmx {
+
+double epoch_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+}  // namespace hpgmx

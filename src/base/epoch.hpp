@@ -1,0 +1,10 @@
+// Process-wide time epoch so events recorded on different rank threads share
+// one time axis (needed to render Fig. 9-style overlap timelines).
+#pragma once
+
+namespace hpgmx {
+
+/// Seconds elapsed since the first call to this function in the process.
+double epoch_seconds();
+
+}  // namespace hpgmx

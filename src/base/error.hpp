@@ -1,0 +1,60 @@
+// Error handling: checked assertions that throw (so tests can verify error
+// paths) and a project exception type carrying source location.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpgmx {
+
+/// Exception thrown on violated preconditions and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what_arg, std::source_location loc)
+      : std::runtime_error(format(what_arg, loc)) {}
+
+ private:
+  static std::string format(const std::string& msg, std::source_location loc) {
+    std::ostringstream os;
+    os << loc.file_name() << ':' << loc.line() << " [" << loc.function_name()
+       << "] " << msg;
+    return os.str();
+  }
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const std::string& msg,
+                                     std::source_location loc) {
+  std::string full = std::string("check failed: ") + expr;
+  if (!msg.empty()) {
+    full += " — " + msg;
+  }
+  throw Error(full, loc);
+}
+}  // namespace detail
+
+}  // namespace hpgmx
+
+/// Always-on precondition / invariant check. Throws hpgmx::Error on failure.
+/// Unlike assert(3) this is active in Release builds: benchmark correctness
+/// bugs must never be silently ignored.
+#define HPGMX_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hpgmx::detail::throw_error(#expr, "",                              \
+                                   std::source_location::current());       \
+    }                                                                      \
+  } while (false)
+
+/// Check with an explanatory message (streamed into a string).
+#define HPGMX_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream hpgmx_os_;                                        \
+      hpgmx_os_ << msg;                                                    \
+      ::hpgmx::detail::throw_error(#expr, hpgmx_os_.str(),                 \
+                                   std::source_location::current());       \
+    }                                                                      \
+  } while (false)

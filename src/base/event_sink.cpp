@@ -1,0 +1,10 @@
+#include "base/event_sink.hpp"
+
+namespace hpgmx {
+
+NullEventSink& null_event_sink() {
+  static NullEventSink sink;
+  return sink;
+}
+
+}  // namespace hpgmx

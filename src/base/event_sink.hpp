@@ -1,0 +1,34 @@
+// Minimal event-recording interface, implemented by perf::TraceRecorder.
+//
+// Lower-level modules (comm, sparse) emit timeline events through this
+// interface without depending on the perf library; a null sink is the
+// default so instrumentation has no cost when tracing is off.
+#pragma once
+
+#include <string_view>
+
+namespace hpgmx {
+
+/// Receives (lane, name, begin, end) intervals in seconds measured from an
+/// epoch the implementation defines. Thread-safety is the implementer's
+/// responsibility; hpgmx emits events from rank threads concurrently.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Record one completed interval on a named lane ("compute", "halo", ...).
+  virtual void record(int rank, std::string_view lane, std::string_view name,
+                      double t_begin, double t_end) = 0;
+};
+
+/// Sink that drops everything; used when tracing is disabled.
+class NullEventSink final : public EventSink {
+ public:
+  void record(int, std::string_view, std::string_view, double,
+              double) override {}
+};
+
+/// Process-wide fallback sink instance.
+NullEventSink& null_event_sink();
+
+}  // namespace hpgmx

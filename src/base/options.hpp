@@ -1,0 +1,29 @@
+// Lightweight runtime configuration via environment variables.
+//
+// Bench harnesses must run unattended ("for b in build/bench/*; do $b; done"),
+// so every tunable has a default sized for a laptop-class machine and can be
+// scaled up via HPGMX_* environment variables on bigger hosts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hpgmx {
+
+/// Read an integer environment variable; empty optional when unset/invalid.
+std::optional<std::int64_t> env_int(const std::string& name);
+
+/// Read a floating-point environment variable.
+std::optional<double> env_double(const std::string& name);
+
+/// Read a string environment variable.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Integer env var with default.
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback);
+
+/// Double env var with default.
+double env_double_or(const std::string& name, double fallback);
+
+}  // namespace hpgmx

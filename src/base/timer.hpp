@@ -1,0 +1,25 @@
+// Monotonic wall-clock timing.
+#pragma once
+
+#include <chrono>
+
+namespace hpgmx {
+
+/// Steady-clock stopwatch. Construction starts it; `seconds()` reads the
+/// elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,125 @@
+// Tall-skinny multivector (the Krylov basis Q) and the two dense BLAS-2
+// kernels of CGS2 orthogonalization (paper alg. 3 lines 21–25):
+//
+//   gemv_t : h = Q[:,1:k]ᵀ w   — k dot products batched into ONE allreduce,
+//                                the latency optimization §4.1 credits for
+//                                CGS2's scalability;
+//   gemv_n : w ← w − Q[:,1:k] h — the subtraction update.
+//
+// Storage is column-major so each basis vector is contiguous (SpMV output
+// writes straight into the next column).
+#pragma once
+
+#include <span>
+
+#include "base/aligned_vector.hpp"
+#include "base/error.hpp"
+#include "base/types.hpp"
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+template <typename T>
+class MultiVector {
+ public:
+  MultiVector() = default;
+  MultiVector(local_index_t rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              T(0)) {}
+
+  [[nodiscard]] local_index_t rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  [[nodiscard]] std::span<T> column(int j) {
+    HPGMX_CHECK(j >= 0 && j < cols_);
+    return {data_.data() + static_cast<std::size_t>(j) *
+                               static_cast<std::size_t>(rows_),
+            static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const T> column(int j) const {
+    HPGMX_CHECK(j >= 0 && j < cols_);
+    return {data_.data() + static_cast<std::size_t>(j) *
+                               static_cast<std::size_t>(rows_),
+            static_cast<std::size_t>(rows_)};
+  }
+
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] T* data() { return data_.data(); }
+
+ private:
+  local_index_t rows_ = 0;
+  int cols_ = 0;
+  AlignedVector<T> data_;
+};
+
+/// h[j] = (Q[:,j], w) for j < k, batched into a single length-k allreduce in
+/// precision T. Local accumulation in T, matching the benchmark's fp32 CGS2
+/// kernels (reorthogonalization absorbs the roundoff — alg. 3 lines 24–26).
+template <typename T>
+void gemv_t(Comm& comm, const MultiVector<T>& q, int k, std::span<const T> w,
+            std::span<T> h) {
+  HPGMX_CHECK(k >= 0 && k <= q.cols());
+  HPGMX_CHECK(static_cast<int>(h.size()) >= k);
+  HPGMX_CHECK(static_cast<local_index_t>(w.size()) >= q.rows());
+  AlignedVector<T> local(static_cast<std::size_t>(k), T(0));
+  const local_index_t n = q.rows();
+  for (int j = 0; j < k; ++j) {
+    const T* __restrict col = q.data() + static_cast<std::size_t>(j) *
+                                             static_cast<std::size_t>(n);
+    const T* __restrict wv = w.data();
+    T acc = T(0);
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+    for (local_index_t i = 0; i < n; ++i) {
+      acc += col[i] * wv[i];
+    }
+    local[static_cast<std::size_t>(j)] = acc;
+  }
+  comm.allreduce(std::span<const T>(local.data(), local.size()),
+                 h.subspan(0, static_cast<std::size_t>(k)), ReduceOp::Sum);
+}
+
+/// w ← w − Q[:,1:k] h. One pass over w; the k basis-vector streams are read
+/// unit-stride.
+template <typename T>
+void gemv_n_sub(const MultiVector<T>& q, int k, std::span<const T> h,
+                std::span<T> w) {
+  HPGMX_CHECK(k >= 0 && k <= q.cols());
+  const local_index_t n = q.rows();
+  const T* __restrict qd = q.data();
+  const T* __restrict hv = h.data();
+  T* __restrict wv = w.data();
+#pragma omp parallel for schedule(static)
+  for (local_index_t i = 0; i < n; ++i) {
+    T acc = wv[i];
+    for (int j = 0; j < k; ++j) {
+      acc -= qd[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(i)] *
+             hv[j];
+    }
+    wv[i] = acc;
+  }
+}
+
+/// w ← Q[:,1:k] t (used for the restart correction r = Q t, alg. 3 line 46).
+template <typename T>
+void gemv_n(const MultiVector<T>& q, int k, std::span<const T> t,
+            std::span<T> w) {
+  HPGMX_CHECK(k >= 0 && k <= q.cols());
+  const local_index_t n = q.rows();
+  const T* __restrict qd = q.data();
+  const T* __restrict tv = t.data();
+  T* __restrict wv = w.data();
+#pragma omp parallel for schedule(static)
+  for (local_index_t i = 0; i < n; ++i) {
+    T acc = T(0);
+    for (int j = 0; j < k; ++j) {
+      acc += qd[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(i)] *
+             tv[j];
+    }
+    wv[i] = acc;
+  }
+}
+
+}  // namespace hpgmx

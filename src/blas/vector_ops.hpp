@@ -1,0 +1,119 @@
+// Dense level-1 kernels, including the custom mixed-precision variants of
+// paper §3.2.5 (device-resident WAXPBY etc. — here: single-pass fused
+// kernels so precision conversion never costs an extra memory sweep).
+//
+// Local reductions accumulate in double regardless of storage precision
+// (cheap on every platform, removes accumulation-order noise from the
+// mixed-precision convergence study); distributed reductions communicate in
+// the *storage* precision, preserving the benchmark's halved allreduce
+// payloads for the single-precision solver.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "base/error.hpp"
+#include "base/types.hpp"
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+/// Local dot product. Accumulation happens in the wider of the two storage
+/// precisions — fp32 inputs accumulate in fp32, exactly like the GPU
+/// kernels of the paper's fp32 CGS2 (the re-orthogonalization step exists
+/// to absorb precisely this roundoff). Deterministic for a fixed thread
+/// count via OpenMP's static reduction.
+template <typename TX, typename TY>
+[[nodiscard]] wider_t<TX, TY> dot_local(std::span<const TX> x,
+                                        std::span<const TY> y) {
+  using Acc = wider_t<TX, TY>;
+  HPGMX_CHECK(x.size() == y.size());
+  const TX* __restrict xv = x.data();
+  const TY* __restrict yv = y.data();
+  Acc acc = Acc(0);
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<Acc>(xv[i]) * static_cast<Acc>(yv[i]);
+  }
+  return acc;
+}
+
+/// Distributed dot in communication precision T (one allreduce). The fp32
+/// instantiation halves both the local traffic and the allreduce payload —
+/// the benchmark's mixed-precision communication saving.
+template <typename T, typename TX, typename TY>
+[[nodiscard]] T dot(Comm& comm, std::span<const TX> x, std::span<const TY> y) {
+  const T local = static_cast<T>(dot_local(x, y));
+  return comm.allreduce_scalar(local, ReduceOp::Sum);
+}
+
+/// Distributed 2-norm in communication precision T.
+template <typename T, typename TX>
+[[nodiscard]] T nrm2(Comm& comm, std::span<const TX> x) {
+  const T sq = dot<T>(comm, x, x);
+  return static_cast<T>(std::sqrt(static_cast<double>(sq)));
+}
+
+/// y += alpha * x.
+template <typename S, typename TX, typename TY>
+void axpy(S alpha, std::span<const TX> x, std::span<TY> y) {
+  HPGMX_CHECK(x.size() == y.size());
+  const TX* __restrict xv = x.data();
+  TY* __restrict yv = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    yv[i] = static_cast<TY>(static_cast<S>(yv[i]) +
+                            alpha * static_cast<S>(xv[i]));
+  }
+}
+
+/// w = alpha * x + beta * y — the benchmark's WAXPBY, with independent
+/// storage precisions on all three vectors (mixed-precision GMRES-IR update
+/// kernels). Arithmetic in S (double for the required outer updates).
+template <typename S, typename TW, typename TX, typename TY>
+void waxpby(S alpha, std::span<const TX> x, S beta, std::span<const TY> y,
+            std::span<TW> w) {
+  HPGMX_CHECK(x.size() == y.size() && x.size() == w.size());
+  const TX* __restrict xv = x.data();
+  const TY* __restrict yv = y.data();
+  TW* __restrict wv = w.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    wv[i] = static_cast<TW>(alpha * static_cast<S>(xv[i]) +
+                            beta * static_cast<S>(yv[i]));
+  }
+}
+
+/// x *= alpha.
+template <typename S, typename T>
+void scal(S alpha, std::span<T> x) {
+  T* __restrict xv = x.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xv[i] = static_cast<T>(alpha * static_cast<S>(xv[i]));
+  }
+}
+
+/// y = x with (possible) precision conversion — a single streaming pass.
+template <typename TX, typename TY>
+void convert_copy(std::span<const TX> x, std::span<TY> y) {
+  HPGMX_CHECK(x.size() == y.size());
+  const TX* __restrict xv = x.data();
+  TY* __restrict yv = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    yv[i] = static_cast<TY>(xv[i]);
+  }
+}
+
+/// x = value everywhere.
+template <typename T>
+void set_all(std::span<T> x, T value) {
+  T* __restrict xv = x.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xv[i] = value;
+  }
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,173 @@
+#include "coloring/coloring.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace hpgmx {
+
+namespace {
+
+/// Smallest color not present in `used` (a bitmask vector).
+int first_free_color(std::vector<char>& used) {
+  for (int c = 0; c < static_cast<int>(used.size()); ++c) {
+    if (!used[static_cast<std::size_t>(c)]) {
+      return c;
+    }
+  }
+  used.push_back(0);
+  return static_cast<int>(used.size()) - 1;
+}
+
+}  // namespace
+
+std::vector<int> greedy_color(local_index_t num_rows,
+                              std::span<const std::int64_t> row_ptr,
+                              std::span<const local_index_t> col_idx,
+                              local_index_t num_owned) {
+  std::vector<int> color(static_cast<std::size_t>(num_rows), -1);
+  std::vector<char> used;
+  for (local_index_t r = 0; r < num_rows; ++r) {
+    std::fill(used.begin(), used.end(), 0);
+    for (std::int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const local_index_t c = col_idx[static_cast<std::size_t>(p)];
+      if (c < num_owned && c != r) {
+        const int nc = color[static_cast<std::size_t>(c)];
+        if (nc >= 0) {
+          if (nc >= static_cast<int>(used.size())) {
+            used.resize(static_cast<std::size_t>(nc) + 1, 0);
+          }
+          used[static_cast<std::size_t>(nc)] = 1;
+        }
+      }
+    }
+    color[static_cast<std::size_t>(r)] = first_free_color(used);
+  }
+  return color;
+}
+
+std::vector<int> jpl_color(local_index_t num_rows,
+                           std::span<const std::int64_t> row_ptr,
+                           std::span<const local_index_t> col_idx,
+                           local_index_t num_owned, std::uint64_t seed,
+                           JplPolicy policy) {
+  std::vector<int> color(static_cast<std::size_t>(num_rows), -1);
+  // Tie-free weights: (hash, row index) ordered lexicographically.
+  std::vector<std::uint64_t> weight(static_cast<std::size_t>(num_rows));
+#pragma omp parallel for schedule(static)
+  for (local_index_t r = 0; r < num_rows; ++r) {
+    weight[static_cast<std::size_t>(r)] =
+        hash_rand(seed, static_cast<std::uint64_t>(r));
+  }
+  const auto beats = [&](local_index_t a, local_index_t b) {
+    const std::uint64_t wa = weight[static_cast<std::size_t>(a)];
+    const std::uint64_t wb = weight[static_cast<std::size_t>(b)];
+    return wa > wb || (wa == wb && a > b);
+  };
+
+  local_index_t num_uncolored = num_rows;
+  std::vector<local_index_t> selected;
+  selected.reserve(static_cast<std::size_t>(num_rows) / 4 + 1);
+  int round = 0;
+  while (num_uncolored > 0) {
+    selected.clear();
+    // Select local maxima of the weight function among uncolored vertices.
+    // (Sequential gather here; the per-vertex test itself is a parallel map
+    // in the GPU version — same selection, same determinism.)
+    for (local_index_t r = 0; r < num_rows; ++r) {
+      if (color[static_cast<std::size_t>(r)] >= 0) {
+        continue;
+      }
+      bool is_max = true;
+      for (std::int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+        const local_index_t c = col_idx[static_cast<std::size_t>(p)];
+        if (c < num_owned && c != r &&
+            color[static_cast<std::size_t>(c)] < 0 && beats(c, r)) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) {
+        selected.push_back(r);
+      }
+    }
+    HPGMX_CHECK_MSG(!selected.empty(), "JPL made no progress in a round");
+    for (const local_index_t r : selected) {
+      if (policy == JplPolicy::RoundAsColor) {
+        color[static_cast<std::size_t>(r)] = round;
+      } else {
+        // Smallest color unused by already-colored neighbors. Vertices in
+        // this round's independent set are mutually non-adjacent, so
+        // assigning within the round stays conflict-free.
+        std::vector<char> used;
+        for (std::int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+          const local_index_t c = col_idx[static_cast<std::size_t>(p)];
+          if (c < num_owned && c != r) {
+            const int nc = color[static_cast<std::size_t>(c)];
+            if (nc >= 0) {
+              if (nc >= static_cast<int>(used.size())) {
+                used.resize(static_cast<std::size_t>(nc) + 1, 0);
+              }
+              used[static_cast<std::size_t>(nc)] = 1;
+            }
+          }
+        }
+        color[static_cast<std::size_t>(r)] = first_free_color(used);
+      }
+    }
+    num_uncolored -= static_cast<local_index_t>(selected.size());
+    ++round;
+  }
+  return color;
+}
+
+std::vector<int> geometric_color(local_index_t nx, local_index_t ny,
+                                 local_index_t nz) {
+  std::vector<int> color(
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+      static_cast<std::size_t>(nz));
+  std::size_t id = 0;
+  for (local_index_t k = 0; k < nz; ++k) {
+    for (local_index_t j = 0; j < ny; ++j) {
+      for (local_index_t i = 0; i < nx; ++i) {
+        color[id++] = (i & 1) | ((j & 1) << 1) | ((k & 1) << 2);
+      }
+    }
+  }
+  return color;
+}
+
+int num_colors(std::span<const int> colors) {
+  int max_color = -1;
+  for (const int c : colors) {
+    max_color = std::max(max_color, c);
+  }
+  return max_color + 1;
+}
+
+bool coloring_is_valid(local_index_t num_rows,
+                       std::span<const std::int64_t> row_ptr,
+                       std::span<const local_index_t> col_idx,
+                       std::span<const int> colors) {
+  for (local_index_t r = 0; r < num_rows; ++r) {
+    if (colors[static_cast<std::size_t>(r)] < 0) {
+      return false;
+    }
+    for (std::int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const local_index_t c = col_idx[static_cast<std::size_t>(p)];
+      if (c < num_rows && c != r &&
+          colors[static_cast<std::size_t>(c)] ==
+              colors[static_cast<std::size_t>(r)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+RowPartition color_partition(std::span<const int> colors) {
+  return RowPartition::from_group_ids(colors, num_colors(colors));
+}
+
+}  // namespace hpgmx

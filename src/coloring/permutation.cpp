@@ -1,0 +1,69 @@
+#include "coloring/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hpgmx {
+
+Permutation color_sort_permutation(std::span<const int> colors) {
+  Permutation p;
+  p.perm.resize(colors.size());
+  std::iota(p.perm.begin(), p.perm.end(), 0);
+  std::stable_sort(p.perm.begin(), p.perm.end(),
+                   [&colors](local_index_t a, local_index_t b) {
+                     return colors[static_cast<std::size_t>(a)] <
+                            colors[static_cast<std::size_t>(b)];
+                   });
+  p.iperm.resize(colors.size());
+  for (std::size_t i = 0; i < p.perm.size(); ++i) {
+    p.iperm[static_cast<std::size_t>(p.perm[i])] =
+        static_cast<local_index_t>(i);
+  }
+  return p;
+}
+
+bool permutation_is_valid(const Permutation& p) {
+  if (p.perm.size() != p.iperm.size()) {
+    return false;
+  }
+  const auto n = static_cast<local_index_t>(p.perm.size());
+  std::vector<char> seen(p.perm.size(), 0);
+  for (local_index_t i = 0; i < n; ++i) {
+    const local_index_t old_id = p.perm[static_cast<std::size_t>(i)];
+    if (old_id < 0 || old_id >= n || seen[static_cast<std::size_t>(old_id)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(old_id)] = 1;
+    if (p.iperm[static_cast<std::size_t>(old_id)] != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HaloPattern permute_halo_pattern(const HaloPattern& halo,
+                                 const Permutation& p) {
+  HPGMX_CHECK(p.size() == halo.n_owned);
+  HaloPattern out = halo;
+  for (auto& nb : out.neighbors) {
+    for (auto& idx : nb.send_indices) {
+      idx = p.iperm[static_cast<std::size_t>(idx)];
+    }
+  }
+  return out;
+}
+
+AlignedVector<local_index_t> permute_c2f(std::span<const local_index_t> c2f,
+                                         const Permutation& coarse,
+                                         const Permutation& fine) {
+  HPGMX_CHECK(coarse.size() == static_cast<local_index_t>(c2f.size()));
+  AlignedVector<local_index_t> out(c2f.size());
+  for (std::size_t nc = 0; nc < c2f.size(); ++nc) {
+    const local_index_t old_coarse = coarse.perm[nc];
+    out[nc] =
+        fine.iperm[static_cast<std::size_t>(c2f[static_cast<std::size_t>(old_coarse)])];
+  }
+  return out;
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,91 @@
+// Symmetric permutations for physically reordering a subdomain by color
+// (paper §3.2.1: "we reorder the matrix and vectors symmetrically").
+//
+// The optimized pipeline defaults to *logical* color ordering (the smoother
+// walks color-grouped row lists over the naturally ordered matrix, identical
+// arithmetic); physical reordering is provided as an option and ablation.
+// Only owned rows/columns are permuted — halo columns keep their indices, so
+// halo patterns need only their send lists remapped.
+#pragma once
+
+#include <span>
+
+#include "base/aligned_vector.hpp"
+#include "base/error.hpp"
+#include "base/types.hpp"
+#include "comm/halo.hpp"
+#include "sparse/csr.hpp"
+
+namespace hpgmx {
+
+/// A bijection on owned row ids. perm maps new → old, iperm maps old → new.
+struct Permutation {
+  AlignedVector<local_index_t> perm;
+  AlignedVector<local_index_t> iperm;
+
+  [[nodiscard]] local_index_t size() const {
+    return static_cast<local_index_t>(perm.size());
+  }
+};
+
+/// Stable sort of rows by (color, natural index): rows of color 0 first.
+Permutation color_sort_permutation(std::span<const int> colors);
+
+/// Validate that perm/iperm are mutually inverse bijections.
+bool permutation_is_valid(const Permutation& p);
+
+/// B = P A Pᵀ on the owned block; halo column ids are left untouched.
+template <typename T>
+CsrMatrix<T> permute_symmetric(const CsrMatrix<T>& a, const Permutation& p) {
+  HPGMX_CHECK(p.size() == a.num_rows);
+  CsrBuilder<T> builder(a.num_rows, a.num_cols, a.num_owned_cols, a.nnz());
+  for (local_index_t nr = 0; nr < a.num_rows; ++nr) {
+    const local_index_t old_row = p.perm[static_cast<std::size_t>(nr)];
+    const auto cols = a.row_cols(old_row);
+    const auto vals = a.row_vals(old_row);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const local_index_t c = cols[k];
+      const local_index_t nc =
+          (c < a.num_owned_cols) ? p.iperm[static_cast<std::size_t>(c)] : c;
+      builder.push(nc, vals[k]);
+    }
+    builder.finish_row();
+  }
+  return builder.build();
+}
+
+/// y[new] = x[old]: gather a vector into permuted order.
+template <typename T>
+void permute_vector(const Permutation& p, std::span<const T> x,
+                    std::span<T> y) {
+  const local_index_t n = p.size();
+#pragma omp parallel for schedule(static)
+  for (local_index_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(p.perm[static_cast<std::size_t>(i)])];
+  }
+}
+
+/// y[old] = x[new]: scatter back to natural order.
+template <typename T>
+void unpermute_vector(const Permutation& p, std::span<const T> x,
+                      std::span<T> y) {
+  const local_index_t n = p.size();
+#pragma omp parallel for schedule(static)
+  for (local_index_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(p.perm[static_cast<std::size_t>(i)])] =
+        x[static_cast<std::size_t>(i)];
+  }
+}
+
+/// Remap a halo pattern's send lists into the permuted numbering.
+HaloPattern permute_halo_pattern(const HaloPattern& halo,
+                                 const Permutation& p);
+
+/// Remap an injection map when both levels were permuted:
+/// out[new_coarse] = fine_iperm[c2f[coarse_perm[new_coarse]]].
+AlignedVector<local_index_t> permute_c2f(
+    std::span<const local_index_t> c2f, const Permutation& coarse,
+    const Permutation& fine);
+
+}  // namespace hpgmx

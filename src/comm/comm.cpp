@@ -1,0 +1,119 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hpgmx {
+namespace detail {
+
+template <typename T>
+static void reduce_typed(void* acc, const void* in, std::size_t n,
+                         ReduceOp op) {
+  T* a = static_cast<T*>(acc);
+  const T* b = static_cast<const T*>(in);
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] += b[i];
+      }
+      break;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = std::max(a[i], b[i]);
+      }
+      break;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = std::min(a[i], b[i]);
+      }
+      break;
+  }
+}
+
+template <typename T>
+const TypeOps& type_ops() {
+  static const TypeOps ops{sizeof(T), &reduce_typed<T>};
+  return ops;
+}
+
+template const TypeOps& type_ops<float>();
+template const TypeOps& type_ops<double>();
+template const TypeOps& type_ops<std::int32_t>();
+template const TypeOps& type_ops<std::int64_t>();
+template const TypeOps& type_ops<std::uint64_t>();
+
+}  // namespace detail
+
+namespace {
+
+/// Request that completed at creation time (eager sends, self messaging).
+class CompletedRequest final : public Request::State {
+ public:
+  void wait() override {}
+};
+
+}  // namespace
+
+void SelfComm::send_bytes(int dst, int tag, const void* data,
+                          std::size_t bytes) {
+  HPGMX_CHECK_MSG(dst == 0, "SelfComm can only message rank 0");
+  Pending p;
+  p.tag = tag;
+  p.data.resize(bytes);
+  std::memcpy(p.data.data(), data, bytes);
+  queue_.push_back(std::move(p));
+}
+
+void SelfComm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  HPGMX_CHECK_MSG(src == 0, "SelfComm can only message rank 0");
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [tag](const Pending& p) { return p.tag == tag; });
+  HPGMX_CHECK_MSG(it != queue_.end(),
+                  "SelfComm::recv with no matching pending self-send");
+  HPGMX_CHECK(it->data.size() == bytes);
+  std::memcpy(data, it->data.data(), bytes);
+  queue_.erase(it);
+}
+
+Request SelfComm::isend_bytes(int dst, int tag, const void* data,
+                              std::size_t bytes) {
+  send_bytes(dst, tag, data, bytes);
+  return Request(std::make_shared<CompletedRequest>());
+}
+
+namespace {
+
+/// Deferred self-receive: the matching send may be posted after the irecv,
+/// so the copy happens at wait() time.
+class SelfRecvRequest final : public Request::State {
+ public:
+  SelfRecvRequest(SelfComm* comm, int tag, void* data, std::size_t bytes)
+      : comm_(comm), tag_(tag), data_(data), bytes_(bytes) {}
+  void wait() override { comm_->recv_bytes(0, tag_, data_, bytes_); }
+
+ private:
+  SelfComm* comm_;
+  int tag_;
+  void* data_;
+  std::size_t bytes_;
+};
+
+}  // namespace
+
+Request SelfComm::irecv_bytes(int src, int tag, void* data,
+                              std::size_t bytes) {
+  HPGMX_CHECK_MSG(src == 0, "SelfComm can only message rank 0");
+  return Request(std::make_shared<SelfRecvRequest>(this, tag, data, bytes));
+}
+
+void SelfComm::allreduce_bytes(const void* in, void* out, std::size_t n,
+                               const detail::TypeOps& ops, ReduceOp) {
+  std::memcpy(out, in, n * ops.size);
+}
+
+void SelfComm::allgather_bytes(const void* in, void* out, std::size_t n,
+                               const detail::TypeOps& ops) {
+  std::memcpy(out, in, n * ops.size);
+}
+
+}  // namespace hpgmx

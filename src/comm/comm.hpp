@@ -1,0 +1,189 @@
+// Message-passing interface for SPMD execution.
+//
+// This mirrors the MPI subset the HPG-MxP benchmark uses: tagged
+// point-to-point messages (halo exchange), nonblocking variants (overlap),
+// and collectives (dot-product allreduce, validation allgather). Two
+// implementations exist: SelfComm (one rank, no threads) and ThreadComm
+// (P virtual ranks on std::threads inside one process) — see DESIGN.md for
+// why this substitutes for MPI on the paper's machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace hpgmx {
+
+/// Reduction operator for collectives.
+enum class ReduceOp { Sum, Max, Min };
+
+namespace detail {
+
+/// Type descriptor used to type-erase collectives through the virtual
+/// interface while keeping the public API templated.
+struct TypeOps {
+  std::size_t size = 0;
+  // Reduce n elements of `in` into `acc` elementwise with `op`.
+  void (*reduce)(void* acc, const void* in, std::size_t n, ReduceOp op) =
+      nullptr;
+};
+
+template <typename T>
+const TypeOps& type_ops();
+
+extern template const TypeOps& type_ops<float>();
+extern template const TypeOps& type_ops<double>();
+extern template const TypeOps& type_ops<std::int32_t>();
+extern template const TypeOps& type_ops<std::int64_t>();
+extern template const TypeOps& type_ops<std::uint64_t>();
+
+}  // namespace detail
+
+/// Handle for a nonblocking operation. wait() blocks until the transfer is
+/// complete; destruction of an un-waited request waits implicitly so data
+/// buffers never outlive their transfers.
+class Request {
+ public:
+  class State {
+   public:
+    virtual ~State() = default;
+    virtual void wait() = 0;
+  };
+
+  Request() = default;
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  /// Block until complete. Idempotent.
+  void wait() {
+    if (state_) {
+      state_->wait();
+      state_.reset();
+    }
+  }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(state_); }
+
+  ~Request() { wait(); }
+  Request(Request&&) = default;
+  Request& operator=(Request&& other) noexcept {
+    wait();
+    state_ = std::move(other.state_);
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// Abstract communicator. All byte-level entry points are virtual; typed
+/// convenience wrappers are non-virtual templates.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  // -- point to point ------------------------------------------------------
+  virtual void send_bytes(int dst, int tag, const void* data,
+                          std::size_t bytes) = 0;
+  virtual void recv_bytes(int src, int tag, void* data, std::size_t bytes) = 0;
+  virtual Request isend_bytes(int dst, int tag, const void* data,
+                              std::size_t bytes) = 0;
+  virtual Request irecv_bytes(int src, int tag, void* data,
+                              std::size_t bytes) = 0;
+
+  // -- collectives ---------------------------------------------------------
+  virtual void barrier() = 0;
+  /// Deterministic allreduce: contributions are combined in rank order, so
+  /// results are bit-identical across runs at fixed size().
+  virtual void allreduce_bytes(const void* in, void* out, std::size_t n,
+                               const detail::TypeOps& ops, ReduceOp op) = 0;
+  /// Concatenate each rank's n elements into out (size n * size()).
+  virtual void allgather_bytes(const void* in, void* out, std::size_t n,
+                               const detail::TypeOps& ops) = 0;
+  /// Broadcast root's n elements to all ranks.
+  virtual void bcast_bytes(void* data, std::size_t n,
+                           const detail::TypeOps& ops, int root) = 0;
+
+  // -- typed wrappers ------------------------------------------------------
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    send_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void recv(int src, int tag, std::span<T> data) {
+    recv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  [[nodiscard]] Request isend(int dst, int tag, std::span<const T> data) {
+    return isend_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  [[nodiscard]] Request irecv(int src, int tag, std::span<T> data) {
+    return irecv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+    HPGMX_CHECK(in.size() == out.size());
+    allreduce_bytes(in.data(), out.data(), in.size(), detail::type_ops<T>(),
+                    op);
+  }
+
+  /// Scalar allreduce convenience.
+  template <typename T>
+  [[nodiscard]] T allreduce_scalar(T value, ReduceOp op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  template <typename T>
+  void allgather(std::span<const T> in, std::span<T> out) {
+    HPGMX_CHECK(out.size() == in.size() * static_cast<std::size_t>(size()));
+    allgather_bytes(in.data(), out.data(), in.size(), detail::type_ops<T>());
+  }
+
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(data.data(), data.size(), detail::type_ops<T>(), root);
+  }
+};
+
+/// Single-rank communicator: collectives are copies, self-messaging works
+/// through an internal queue. Used for serial runs and unit tests.
+class SelfComm final : public Comm {
+ public:
+  [[nodiscard]] int rank() const override { return 0; }
+  [[nodiscard]] int size() const override { return 1; }
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override;
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override;
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override;
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes) override;
+
+  void barrier() override {}
+  void allreduce_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops, ReduceOp op) override;
+  void allgather_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops) override;
+  void bcast_bytes(void*, std::size_t, const detail::TypeOps&, int) override {}
+
+ private:
+  struct Pending {
+    int tag;
+    std::vector<std::byte> data;
+  };
+  std::vector<Pending> queue_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,156 @@
+// Halo (ghost-layer) exchange for domain-decomposed vectors.
+//
+// A distributed vector on a rank has layout [owned | halo]: the first
+// n_owned entries are the rank's rows; the halo region holds copies of
+// neighbor-owned entries this rank's stencil reads. The pattern (who sends
+// what to whom) is geometric and is built by grid::build_halo_pattern; both
+// sides of a pair order the shared points by global index, so no negotiation
+// messages are needed.
+//
+// The split-phase API (begin/finish) is the substrate for the paper's
+// compute–communication overlap (§3.2.3): begin() packs and posts the
+// transfers, the caller smooths/multiplies interior rows, finish() completes
+// the transfers before boundary rows are processed.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "base/aligned_vector.hpp"
+#include "base/epoch.hpp"
+#include "base/error.hpp"
+#include "base/event_sink.hpp"
+#include "base/types.hpp"
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+/// One neighbor's worth of a halo pattern.
+struct HaloNeighbor {
+  int rank = -1;
+  /// Owned local indices to copy into the send buffer, ordered by global id.
+  AlignedVector<local_index_t> send_indices;
+  /// Where this neighbor's data lands inside the halo region (offset from
+  /// n_owned) and how many entries it contributes.
+  local_index_t recv_offset = 0;
+  local_index_t recv_count = 0;
+};
+
+/// Complete halo pattern for one level of one rank's subdomain.
+struct HaloPattern {
+  local_index_t n_owned = 0;
+  local_index_t n_halo = 0;
+  std::vector<HaloNeighbor> neighbors;
+
+  [[nodiscard]] local_index_t total_send_count() const {
+    local_index_t total = 0;
+    for (const auto& nb : neighbors) {
+      total += static_cast<local_index_t>(nb.send_indices.size());
+    }
+    return total;
+  }
+
+  /// Total vector length a rank must allocate: owned + halo entries.
+  [[nodiscard]] local_index_t vector_length() const { return n_owned + n_halo; }
+};
+
+/// Executes halo exchanges for one value type over a fixed pattern. Owns the
+/// send buffers so repeated exchanges do not allocate.
+template <typename T>
+class HaloExchange {
+ public:
+  /// `tag` namespaces messages so exchanges on different multigrid levels
+  /// never match each other's traffic.
+  HaloExchange(const HaloPattern* pattern, int tag)
+      : pattern_(pattern), tag_(tag) {
+    HPGMX_CHECK(pattern != nullptr);
+    send_buffers_.resize(pattern->neighbors.size());
+    for (std::size_t n = 0; n < pattern->neighbors.size(); ++n) {
+      send_buffers_[n].resize(pattern->neighbors[n].send_indices.size());
+    }
+  }
+
+  [[nodiscard]] const HaloPattern& pattern() const { return *pattern_; }
+
+  /// Blocking exchange: pack, post, wait, all in one call.
+  void exchange(Comm& comm, std::span<T> x,
+                EventSink* sink = &null_event_sink()) {
+    begin(comm, x, sink);
+    finish(comm, sink);
+  }
+
+  /// Pack boundary entries of x and post all sends/receives. x must have
+  /// pattern().vector_length() entries. After begin(), the caller may write
+  /// to owned entries of x (including the packed boundary entries — the
+  /// event semantics of §3.2.3) but must not read the halo region until
+  /// finish() returns.
+  void begin(Comm& comm, std::span<T> x, EventSink* sink = &null_event_sink()) {
+    HPGMX_CHECK(static_cast<local_index_t>(x.size()) >=
+                pattern_->vector_length());
+    HPGMX_CHECK_MSG(!in_flight_, "begin() called twice without finish()");
+    const double t_pack0 = epoch_seconds();
+    for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
+      const HaloNeighbor& nb = pattern_->neighbors[n];
+      AlignedVector<T>& buf = send_buffers_[n];
+      for (std::size_t k = 0; k < nb.send_indices.size(); ++k) {
+        buf[k] = x[static_cast<std::size_t>(nb.send_indices[k])];
+      }
+    }
+    const double t_pack1 = epoch_seconds();
+    sink->record(comm.rank(), "halo", "pack", t_pack0, t_pack1);
+
+    recv_requests_.clear();
+    recv_requests_.reserve(pattern_->neighbors.size());
+    for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
+      const HaloNeighbor& nb = pattern_->neighbors[n];
+      comm.send(nb.rank, tag_, std::span<const T>(send_buffers_[n]));
+      T* recv_ptr =
+          x.data() + pattern_->n_owned + static_cast<std::size_t>(nb.recv_offset);
+      recv_requests_.push_back(comm.irecv(
+          nb.rank, tag_,
+          std::span<T>(recv_ptr, static_cast<std::size_t>(nb.recv_count))));
+    }
+    const double t_post1 = epoch_seconds();
+    sink->record(comm.rank(), "halo", "post", t_pack1, t_post1);
+    t_begin_done_ = t_post1;
+    in_flight_ = true;
+  }
+
+  /// Complete all posted receives; afterwards the halo region of x is valid.
+  void finish(Comm& comm, EventSink* sink = &null_event_sink()) {
+    HPGMX_CHECK_MSG(in_flight_, "finish() without begin()");
+    const double t0 = epoch_seconds();
+    // The transfers progressed between begin() and now — the in-flight
+    // window that interior compute can hide (Fig. 9's overlap).
+    sink->record(comm.rank(), "halo", "xfer", t_begin_done_, t0);
+    for (auto& req : recv_requests_) {
+      req.wait();
+    }
+    recv_requests_.clear();
+    in_flight_ = false;
+    const double t1 = epoch_seconds();
+    sink->record(comm.rank(), "halo", "wait", t0, t1);
+  }
+
+  /// Bytes moved over the (virtual) network by one exchange, both directions.
+  [[nodiscard]] std::size_t bytes_per_exchange() const {
+    std::size_t bytes = 0;
+    for (const auto& nb : pattern_->neighbors) {
+      bytes += (nb.send_indices.size() +
+                static_cast<std::size_t>(nb.recv_count)) *
+               sizeof(T);
+    }
+    return bytes;
+  }
+
+ private:
+  const HaloPattern* pattern_;
+  int tag_;
+  std::vector<AlignedVector<T>> send_buffers_;
+  std::vector<Request> recv_requests_;
+  bool in_flight_ = false;
+  double t_begin_done_ = 0.0;
+};
+
+}  // namespace hpgmx

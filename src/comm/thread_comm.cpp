@@ -1,0 +1,210 @@
+#include "comm/thread_comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+namespace hpgmx {
+
+int ThreadComm::size() const { return world_->size(); }
+
+void ThreadComm::send_bytes(int dst, int tag, const void* data,
+                            std::size_t bytes) {
+  HPGMX_CHECK_MSG(dst >= 0 && dst < world_->size(), "invalid destination rank");
+  ThreadCommWorld::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.data.resize(bytes);
+  std::memcpy(msg.data.data(), data, bytes);
+  world_->post_message(dst, std::move(msg));
+}
+
+void ThreadComm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  HPGMX_CHECK_MSG(src >= 0 && src < world_->size(), "invalid source rank");
+  world_->match_receive(rank_, src, tag, data, bytes);
+}
+
+namespace {
+
+class CompletedRequest final : public Request::State {
+ public:
+  void wait() override {}
+};
+
+/// Progress for a threaded irecv happens at wait(): the matching eager send
+/// has (or will have) deposited the payload in this rank's mailbox, so the
+/// wait is a blocking match + copy. Transfer of bytes genuinely overlaps with
+/// the receiver's compute because the *sender* thread runs concurrently.
+class ThreadRecvRequest final : public Request::State {
+ public:
+  ThreadRecvRequest(Comm* comm, int src, int tag, void* data,
+                    std::size_t bytes)
+      : comm_(comm), src_(src), tag_(tag), data_(data), bytes_(bytes) {}
+  void wait() override { comm_->recv_bytes(src_, tag_, data_, bytes_); }
+
+ private:
+  Comm* comm_;
+  int src_;
+  int tag_;
+  void* data_;
+  std::size_t bytes_;
+};
+
+}  // namespace
+
+Request ThreadComm::isend_bytes(int dst, int tag, const void* data,
+                                std::size_t bytes) {
+  send_bytes(dst, tag, data, bytes);  // eager: buffered and complete
+  return Request(std::make_shared<CompletedRequest>());
+}
+
+Request ThreadComm::irecv_bytes(int src, int tag, void* data,
+                                std::size_t bytes) {
+  HPGMX_CHECK_MSG(src >= 0 && src < world_->size(), "invalid source rank");
+  return Request(
+      std::make_shared<ThreadRecvRequest>(this, src, tag, data, bytes));
+}
+
+void ThreadComm::barrier() {
+  world_->collective(rank_, nullptr, 0, nullptr, 0,
+                     [](ThreadCommWorld::CollectiveState&) {});
+}
+
+void ThreadComm::allreduce_bytes(const void* in, void* out, std::size_t n,
+                                 const detail::TypeOps& ops, ReduceOp op) {
+  const std::size_t bytes = n * ops.size;
+  world_->collective(
+      rank_, in, bytes, out, bytes,
+      [n, &ops, op, bytes](ThreadCommWorld::CollectiveState& st) {
+        st.result.assign(st.slots[0].begin(), st.slots[0].end());
+        for (std::size_t r = 1; r < st.slots.size(); ++r) {
+          HPGMX_CHECK(st.slots[r].size() == bytes);
+          ops.reduce(st.result.data(), st.slots[r].data(), n, op);
+        }
+      });
+}
+
+void ThreadComm::allgather_bytes(const void* in, void* out, std::size_t n,
+                                 const detail::TypeOps& ops) {
+  const std::size_t bytes = n * ops.size;
+  world_->collective(
+      rank_, in, bytes, out, bytes * static_cast<std::size_t>(size()),
+      [bytes](ThreadCommWorld::CollectiveState& st) {
+        st.result.clear();
+        for (const auto& slot : st.slots) {
+          HPGMX_CHECK(slot.size() == bytes);
+          st.result.insert(st.result.end(), slot.begin(), slot.end());
+        }
+      });
+}
+
+void ThreadComm::bcast_bytes(void* data, std::size_t n,
+                             const detail::TypeOps& ops, int root) {
+  const std::size_t bytes = n * ops.size;
+  // Every rank contributes its buffer; the combiner publishes the root's.
+  world_->collective(rank_, data, bytes, data, bytes,
+                     [root](ThreadCommWorld::CollectiveState& st) {
+                       st.result = st.slots[static_cast<std::size_t>(root)];
+                     });
+}
+
+ThreadCommWorld::ThreadCommWorld(int size) : size_(size) {
+  HPGMX_CHECK_MSG(size >= 1, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  coll_.slots.resize(static_cast<std::size_t>(size));
+}
+
+ThreadCommWorld::~ThreadCommWorld() = default;
+
+void ThreadCommWorld::post_message(int dst, Message msg) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+void ThreadCommWorld::match_receive(int self, int src, int tag, void* data,
+                                    std::size_t bytes) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                           [src, tag](const Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    if (it != box.messages.end()) {
+      HPGMX_CHECK_MSG(it->data.size() == bytes,
+                      "message size mismatch: expected "
+                          << bytes << " got " << it->data.size());
+      std::memcpy(data, it->data.data(), bytes);
+      box.messages.erase(it);
+      return;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void ThreadCommWorld::collective(
+    int self, const void* in, std::size_t in_bytes, void* out,
+    std::size_t out_bytes,
+    const std::function<void(CollectiveState&)>& combine) {
+  std::unique_lock<std::mutex> lock(coll_.mutex);
+  auto& slot = coll_.slots[static_cast<std::size_t>(self)];
+  slot.resize(in_bytes);
+  if (in_bytes > 0) {
+    std::memcpy(slot.data(), in, in_bytes);
+  }
+  ++coll_.arrived;
+  const std::uint64_t my_generation = coll_.generation;
+  if (coll_.arrived == size_) {
+    combine(coll_);
+    coll_.arrived = 0;
+    ++coll_.generation;
+    coll_.cv.notify_all();
+  } else {
+    coll_.cv.wait(lock, [this, my_generation] {
+      return coll_.generation != my_generation;
+    });
+  }
+  if (out_bytes > 0) {
+    HPGMX_CHECK(coll_.result.size() >= out_bytes);
+    std::memcpy(out, coll_.result.data(), out_bytes);
+  }
+}
+
+void ThreadCommWorld::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        ThreadComm comm(this, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ThreadCommWorld::execute(int size, const std::function<void(Comm&)>& fn) {
+  ThreadCommWorld world(size);
+  world.run(fn);
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,115 @@
+// In-process SPMD world: P virtual ranks, each a std::thread, exchanging
+// messages through shared mailboxes.
+//
+// This is the repo's substitute for MPI (see DESIGN.md §2). The semantics
+// mirror MPI's eager protocol: sends buffer and complete immediately;
+// receives match on (source, tag) in posting order. Collectives combine
+// contributions in rank order, making results bit-reproducible at fixed P.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+class ThreadCommWorld;
+
+/// Per-rank communicator handle into a ThreadCommWorld. Created by the world;
+/// valid only inside the function passed to ThreadCommWorld::run.
+class ThreadComm final : public Comm {
+ public:
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override;
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override;
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override;
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override;
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes) override;
+
+  void barrier() override;
+  void allreduce_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops, ReduceOp op) override;
+  void allgather_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops) override;
+  void bcast_bytes(void* data, std::size_t n, const detail::TypeOps& ops,
+                   int root) override;
+
+ private:
+  friend class ThreadCommWorld;
+  ThreadComm(ThreadCommWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  ThreadCommWorld* world_;
+  int rank_;
+};
+
+/// Owns the shared state of a P-rank virtual machine and launches SPMD
+/// regions on it.
+class ThreadCommWorld {
+ public:
+  explicit ThreadCommWorld(int size);
+  ~ThreadCommWorld();
+
+  ThreadCommWorld(const ThreadCommWorld&) = delete;
+  ThreadCommWorld& operator=(const ThreadCommWorld&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Run `fn(comm)` on every rank concurrently; returns when all ranks have
+  /// finished. If any rank throws, the first exception (by rank order) is
+  /// rethrown here after all threads joined.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// One-shot convenience: build a world of `size` ranks and run `fn`.
+  static void execute(int size, const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class ThreadComm;
+
+  struct Message {
+    int src = -1;
+    int tag = 0;
+    std::vector<std::byte> data;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  /// Shared payload state for rank-ordered deterministic collectives.
+  struct CollectiveState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::vector<std::byte>> slots;  // one per rank
+    std::vector<std::byte> result;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+  };
+
+  void post_message(int dst, Message msg);
+  void match_receive(int self, int src, int tag, void* data,
+                     std::size_t bytes);
+
+  // Collective engine: each rank deposits `in` into its slot; the last
+  // arriver combines slots in rank order via `combine` and publishes the
+  // result; everyone copies `out_bytes` of the result to `out`.
+  void collective(int self, const void* in, std::size_t in_bytes, void* out,
+                  std::size_t out_bytes,
+                  const std::function<void(CollectiveState&)>& combine);
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  CollectiveState coll_;
+};
+
+}  // namespace hpgmx

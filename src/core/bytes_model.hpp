@@ -1,0 +1,67 @@
+// Memory-traffic model: bytes each motif must move to/from main memory per
+// execution, assuming streaming (no temporal reuse of matrix data, perfect
+// reuse inside a row). Used for the roofline analysis (Fig. 8) and the
+// machine-model projections (Figs. 4–6): a bandwidth-bound kernel's runtime
+// is bytes / bandwidth, which is how halving the value width buys speed.
+#pragma once
+
+#include <cstddef>
+
+#include "base/types.hpp"
+
+namespace hpgmx {
+
+/// y = A x: matrix values + column indices once, x gathered (~n unique
+/// entries), y written.
+template <typename T>
+[[nodiscard]] constexpr double spmv_bytes(std::int64_t nnz, local_index_t n) {
+  return static_cast<double>(nnz) * (sizeof(T) + sizeof(local_index_t)) +
+         2.0 * static_cast<double>(n) * sizeof(T);
+}
+
+/// One GS relaxation sweep: like SpMV plus the diagonal array and the
+/// read-modify-write of z.
+template <typename T>
+[[nodiscard]] constexpr double gs_sweep_bytes(std::int64_t nnz,
+                                              local_index_t n) {
+  return static_cast<double>(nnz) * (sizeof(T) + sizeof(local_index_t)) +
+         4.0 * static_cast<double>(n) * sizeof(T);
+}
+
+/// r = b − A x.
+template <typename T>
+[[nodiscard]] constexpr double residual_bytes(std::int64_t nnz,
+                                              local_index_t n) {
+  return static_cast<double>(nnz) * (sizeof(T) + sizeof(local_index_t)) +
+         3.0 * static_cast<double>(n) * sizeof(T);
+}
+
+/// Fused residual+restrict touching only the restricted fine rows.
+template <typename T>
+[[nodiscard]] constexpr double fused_restrict_bytes(std::int64_t nnz_sel,
+                                                    local_index_t n_fine,
+                                                    local_index_t n_coarse) {
+  return static_cast<double>(nnz_sel) * (sizeof(T) + sizeof(local_index_t)) +
+         static_cast<double>(n_fine) * sizeof(T) +  // gathered x
+         2.0 * static_cast<double>(n_coarse) *
+             (sizeof(T) + sizeof(local_index_t));  // b at c2f, rc, map
+}
+
+/// CGS2 step k: four passes over Q[:, :k] plus the vector w.
+template <typename T>
+[[nodiscard]] constexpr double cgs2_bytes(local_index_t n, int k) {
+  return 4.0 * static_cast<double>(n) * k * sizeof(T) +
+         6.0 * static_cast<double>(n) * sizeof(T);
+}
+
+template <typename T>
+[[nodiscard]] constexpr double dot_bytes(local_index_t n) {
+  return 2.0 * static_cast<double>(n) * sizeof(T);
+}
+
+template <typename T>
+[[nodiscard]] constexpr double waxpby_bytes(local_index_t n) {
+  return 3.0 * static_cast<double>(n) * sizeof(T);
+}
+
+}  // namespace hpgmx

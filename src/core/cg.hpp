@@ -1,0 +1,229 @@
+// Preconditioned Conjugate Gradient — the HPCG baseline (paper algorithm 1),
+// used by the §4.1 comparison ("when we ran HPCG ourselves on Frontier ...
+// 10.4 petaflops"). Preconditioner: one multigrid V-cycle with symmetric
+// (forward+backward) Gauss–Seidel smoothing, per the HPCG specification.
+#pragma once
+
+#include <cmath>
+
+#include "base/aligned_vector.hpp"
+#include "blas/vector_ops.hpp"
+#include "core/dist_operator.hpp"
+#include "core/gmres.hpp"
+#include "core/multigrid.hpp"
+
+namespace hpgmx {
+
+/// Symmetric-GS multigrid V-cycle preconditioner for CG: wraps the shared
+/// Multigrid<T> machinery with forward+backward sweeps so M stays symmetric.
+template <typename T>
+class SymmetricMultigrid {
+ public:
+  SymmetricMultigrid(const ProblemHierarchy& hierarchy,
+                     const BenchParams& params, int tag_base = 500)
+      : hierarchy_(&hierarchy), params_(params) {
+    const int nl = static_cast<int>(hierarchy.levels.size());
+    for (int l = 0; l < nl; ++l) {
+      ops_.emplace_back(hierarchy.levels[static_cast<std::size_t>(l)].a,
+                        hierarchy.structures[static_cast<std::size_t>(l)].get(),
+                        params.opt, tag_base + l);
+    }
+    r_.resize(static_cast<std::size_t>(nl));
+    z_.resize(static_cast<std::size_t>(nl));
+    for (int l = 0; l < nl; ++l) {
+      const auto len = static_cast<std::size_t>(
+          ops_[static_cast<std::size_t>(l)].vec_len());
+      r_[static_cast<std::size_t>(l)].assign(len, T(0));
+      z_[static_cast<std::size_t>(l)].assign(len, T(0));
+    }
+  }
+
+  [[nodiscard]] DistOperator<T>& level_op(int l) {
+    return ops_[static_cast<std::size_t>(l)];
+  }
+
+  void set_stats(MotifStats* stats) {
+    for (auto& op : ops_) {
+      op.set_stats(stats);
+    }
+    stats_ = stats;
+  }
+
+  void apply(Comm& comm, std::span<const T> r, std::span<T> z) {
+    auto& r0 = r_[0];
+    for (local_index_t i = 0; i < ops_[0].num_owned(); ++i) {
+      r0[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
+    }
+    cycle(comm, 0);
+    for (local_index_t i = 0; i < ops_[0].num_owned(); ++i) {
+      z[static_cast<std::size_t>(i)] = z_[0][static_cast<std::size_t>(i)];
+    }
+  }
+
+ private:
+  void cycle(Comm& comm, int l) {
+    auto& op = ops_[static_cast<std::size_t>(l)];
+    auto& r = r_[static_cast<std::size_t>(l)];
+    auto& z = z_[static_cast<std::size_t>(l)];
+    std::fill(z.begin(), z.end(), T(0));
+    const bool coarsest = (l + 1 == static_cast<int>(ops_.size()));
+
+    // HPCG smoothing step: forward then backward sweep (symmetric GS).
+    op.gs_forward(comm, std::span<const T>(r.data(), r.size()),
+                  std::span<T>(z.data(), z.size()));
+    op.gs_backward(comm, std::span<const T>(r.data(), r.size()),
+                   std::span<T>(z.data(), z.size()));
+    if (coarsest) {
+      return;
+    }
+    auto& rc = r_[static_cast<std::size_t>(l + 1)];
+    const auto& c2f = hierarchy_->c2f[static_cast<std::size_t>(l)];
+    op.restrict_residual(
+        comm, std::span<const T>(r.data(), r.size()),
+        std::span<T>(z.data(), z.size()),
+        std::span<const local_index_t>(c2f.data(), c2f.size()),
+        hierarchy_->nnz_coarse_rows[static_cast<std::size_t>(l)],
+        std::span<T>(rc.data(), rc.size()));
+    cycle(comm, l + 1);
+    {
+      ScopedMotif sm(stats_, Motif::Prolong,
+                     prolong_flops(static_cast<local_index_t>(c2f.size())));
+      prolong_correct(std::span<const local_index_t>(c2f.data(), c2f.size()),
+                      std::span<const T>(z_[static_cast<std::size_t>(l + 1)].data(),
+                                         z_[static_cast<std::size_t>(l + 1)].size()),
+                      std::span<T>(z.data(), z.size()));
+    }
+    op.gs_forward(comm, std::span<const T>(r.data(), r.size()),
+                  std::span<T>(z.data(), z.size()));
+    op.gs_backward(comm, std::span<const T>(r.data(), r.size()),
+                   std::span<T>(z.data(), z.size()));
+  }
+
+  const ProblemHierarchy* hierarchy_;
+  BenchParams params_;
+  std::vector<DistOperator<T>> ops_;
+  std::vector<AlignedVector<T>> r_;
+  std::vector<AlignedVector<T>> z_;
+  MotifStats* stats_ = nullptr;
+};
+
+/// Preconditioned CG (paper algorithm 1) in precision T.
+template <typename T>
+class ConjugateGradient {
+ public:
+  ConjugateGradient(DistOperator<T>* a, SymmetricMultigrid<T>* mg,
+                    SolverOptions opts)
+      : a_(a), mg_(mg), opts_(opts) {}
+
+  void set_stats(MotifStats* stats) {
+    stats_ = stats;
+    a_->set_stats(stats);
+    if (mg_ != nullptr) {
+      mg_->set_stats(stats);
+    }
+  }
+
+  SolveResult solve(Comm& comm, std::span<const T> b, std::span<T> x) {
+    const local_index_t n = a_->num_owned();
+    AlignedVector<T> x_full(static_cast<std::size_t>(a_->vec_len()), T(0));
+    AlignedVector<T> p_full(static_cast<std::size_t>(a_->vec_len()), T(0));
+    AlignedVector<T> r(static_cast<std::size_t>(n), T(0));
+    AlignedVector<T> z(static_cast<std::size_t>(n), T(0));
+    AlignedVector<T> ap(static_cast<std::size_t>(n), T(0));
+
+    SolveResult result;
+    double rho0;
+    {
+      ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+      rho0 = static_cast<double>(nrm2<T>(comm, b));
+    }
+    if (rho0 == 0.0) {
+      set_all(x, T(0));
+      result.converged = true;
+      return result;
+    }
+    for (local_index_t i = 0; i < n; ++i) {
+      x_full[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+    }
+    a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
+                 std::span<T>(r.data(), r.size()));
+
+    double rz_old = 0.0;
+    while (result.iterations < opts_.max_iters) {
+      double rho;
+      {
+        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+        rho = static_cast<double>(
+            nrm2<T>(comm, std::span<const T>(r.data(), r.size())));
+      }
+      result.relative_residual = rho / rho0;
+      if (opts_.track_history) {
+        result.history.push_back(result.relative_residual);
+      }
+      if (result.relative_residual < opts_.tol) {
+        result.converged = true;
+        break;
+      }
+      if (mg_ != nullptr) {
+        mg_->apply(comm, std::span<const T>(r.data(), r.size()),
+                   std::span<T>(z.data(), z.size()));
+      } else {
+        convert_copy(std::span<const T>(r.data(), r.size()),
+                     std::span<T>(z.data(), z.size()));
+      }
+      double rz;
+      {
+        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+        rz = dot<double>(comm, std::span<const T>(r.data(), r.size()),
+                         std::span<const T>(z.data(), z.size()));
+      }
+      if (result.iterations == 0) {
+        ScopedMotif sm(stats_, Motif::Vector, scal_flops(n));
+        for (local_index_t i = 0; i < n; ++i) {
+          p_full[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)];
+        }
+      } else {
+        const double beta = rz / rz_old;
+        ScopedMotif sm(stats_, Motif::Vector, waxpby_flops(n));
+        for (local_index_t i = 0; i < n; ++i) {
+          p_full[static_cast<std::size_t>(i)] =
+              z[static_cast<std::size_t>(i)] +
+              static_cast<T>(beta) * p_full[static_cast<std::size_t>(i)];
+        }
+      }
+      rz_old = rz;
+      a_->spmv(comm, std::span<T>(p_full.data(), p_full.size()),
+               std::span<T>(ap.data(), ap.size()));
+      double pap;
+      {
+        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+        pap = dot<double>(comm,
+                          std::span<const T>(p_full.data(), static_cast<std::size_t>(n)),
+                          std::span<const T>(ap.data(), ap.size()));
+      }
+      HPGMX_CHECK_MSG(pap > 0, "CG: matrix is not positive definite");
+      const double alpha = rz / pap;
+      {
+        ScopedMotif sm(stats_, Motif::Vector, 2 * waxpby_flops(n));
+        axpy(alpha, std::span<const T>(p_full.data(), static_cast<std::size_t>(n)),
+             std::span<T>(x_full.data(), static_cast<std::size_t>(n)));
+        axpy(-alpha, std::span<const T>(ap.data(), ap.size()),
+             std::span<T>(r.data(), r.size()));
+      }
+      ++result.iterations;
+    }
+
+    for (local_index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = x_full[static_cast<std::size_t>(i)];
+    }
+    return result;
+  }
+
+ private:
+  DistOperator<T>* a_;
+  SymmetricMultigrid<T>* mg_;
+  SolverOptions opts_;
+  MotifStats* stats_ = nullptr;
+};
+
+}  // namespace hpgmx

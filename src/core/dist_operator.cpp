@@ -1,0 +1,66 @@
+#include "core/dist_operator.hpp"
+
+namespace hpgmx {
+
+OperatorStructure build_structure(const Problem& prob, std::uint64_t seed,
+                                  ColoringMode mode) {
+  OperatorStructure s;
+  s.halo = prob.halo;
+  const CsrMatrix<double>& a = prob.a;
+
+  std::vector<int> colors;
+  switch (mode) {
+    case ColoringMode::Geometric:
+      colors = geometric_color(prob.box.nx, prob.box.ny, prob.box.nz);
+      break;
+    case ColoringMode::Jpl:
+      colors = jpl_color(a, seed, JplPolicy::MinAvailable);
+      break;
+    case ColoringMode::Greedy:
+      colors = greedy_color(a);
+      break;
+  }
+  HPGMX_CHECK(coloring_is_valid(a.num_rows, a.row_ptr, a.col_idx, colors));
+  s.num_colors = num_colors(colors);
+  s.colors = color_partition(colors);
+
+  // Boundary rows read at least one halo column; everything else is
+  // interior and can be processed while the halo exchange is in flight.
+  std::vector<char> is_boundary(static_cast<std::size_t>(a.num_rows), 0);
+  for (local_index_t r = 0; r < a.num_rows; ++r) {
+    for (const local_index_t c : a.row_cols(r)) {
+      if (c >= a.num_owned_cols) {
+        is_boundary[static_cast<std::size_t>(r)] = 1;
+        break;
+      }
+    }
+  }
+  for (local_index_t r = 0; r < a.num_rows; ++r) {
+    if (is_boundary[static_cast<std::size_t>(r)]) {
+      s.boundary_rows.push_back(r);
+    } else {
+      s.interior_rows.push_back(r);
+    }
+  }
+
+  // Per-color interior/boundary splits, preserving color order.
+  for (int c = 0; c < s.colors.num_groups(); ++c) {
+    AlignedVector<local_index_t> interior, boundary;
+    for (const local_index_t r : s.colors.group(c)) {
+      if (is_boundary[static_cast<std::size_t>(r)]) {
+        boundary.push_back(r);
+      } else {
+        interior.push_back(r);
+      }
+    }
+    s.colors_interior.add_group(
+        std::span<const local_index_t>(interior.data(), interior.size()));
+    s.colors_boundary.add_group(
+        std::span<const local_index_t>(boundary.data(), boundary.size()));
+  }
+
+  s.level_schedule = build_lower_level_schedule(a);
+  return s;
+}
+
+}  // namespace hpgmx

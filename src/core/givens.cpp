@@ -1,0 +1,93 @@
+#include "core/givens.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace hpgmx {
+
+GivensRotation compute_givens(double a, double b) {
+  GivensRotation g;
+  if (b == 0.0) {
+    g.c = 1.0;
+    g.s = 0.0;
+    return g;
+  }
+  const double r = std::hypot(a, b);
+  g.c = a / r;
+  g.s = b / r;
+  return g;
+}
+
+HessenbergQR::HessenbergQR(int m) : m_(m) {
+  HPGMX_CHECK(m >= 1);
+  r_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
+  c_.assign(static_cast<std::size_t>(m), 0.0);
+  s_.assign(static_cast<std::size_t>(m), 0.0);
+  t_.assign(static_cast<std::size_t>(m) + 1, 0.0);
+}
+
+void HessenbergQR::reset(double beta) {
+  std::fill(t_.begin(), t_.end(), 0.0);
+  t_[0] = beta;
+}
+
+double HessenbergQR::insert_column(int k, std::span<double> h) {
+  HPGMX_CHECK(k >= 0 && k < m_);
+  HPGMX_CHECK(static_cast<int>(h.size()) >= k + 2);
+  // Apply the k previous rotations to the new column.
+  for (int j = 0; j < k; ++j) {
+    const double hj = h[static_cast<std::size_t>(j)];
+    const double hj1 = h[static_cast<std::size_t>(j) + 1];
+    h[static_cast<std::size_t>(j)] =
+        c_[static_cast<std::size_t>(j)] * hj +
+        s_[static_cast<std::size_t>(j)] * hj1;
+    h[static_cast<std::size_t>(j) + 1] =
+        -s_[static_cast<std::size_t>(j)] * hj +
+        c_[static_cast<std::size_t>(j)] * hj1;
+  }
+  // New rotation eliminating the subdiagonal.
+  const GivensRotation g = compute_givens(h[static_cast<std::size_t>(k)],
+                                          h[static_cast<std::size_t>(k) + 1]);
+  c_[static_cast<std::size_t>(k)] = g.c;
+  s_[static_cast<std::size_t>(k)] = g.s;
+  h[static_cast<std::size_t>(k)] =
+      g.c * h[static_cast<std::size_t>(k)] +
+      g.s * h[static_cast<std::size_t>(k) + 1];
+  h[static_cast<std::size_t>(k) + 1] = 0.0;
+  // Update the reduced right-hand side.
+  const double tk = t_[static_cast<std::size_t>(k)];
+  t_[static_cast<std::size_t>(k)] = g.c * tk;
+  t_[static_cast<std::size_t>(k) + 1] = -g.s * tk;
+  // Store the rotated column into the packed triangular factor.
+  for (int j = 0; j <= k; ++j) {
+    r_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) +
+       static_cast<std::size_t>(j)] = h[static_cast<std::size_t>(j)];
+  }
+  return std::abs(t_[static_cast<std::size_t>(k) + 1]);
+}
+
+void HessenbergQR::solve(int k, std::span<double> y) const {
+  HPGMX_CHECK(k >= 1 && k <= m_);
+  HPGMX_CHECK(static_cast<int>(y.size()) >= k);
+  for (int i = k - 1; i >= 0; --i) {
+    double acc = t_[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      acc -= r_[static_cast<std::size_t>(j) * static_cast<std::size_t>(m_) +
+                static_cast<std::size_t>(i)] *
+             y[static_cast<std::size_t>(j)];
+    }
+    const double rii =
+        r_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+           static_cast<std::size_t>(i)];
+    HPGMX_CHECK_MSG(rii != 0.0, "singular triangular factor at " << i);
+    y[static_cast<std::size_t>(i)] = acc / rii;
+  }
+}
+
+double HessenbergQR::residual_estimate(int k) const {
+  HPGMX_CHECK(k >= 0 && k <= m_);
+  return std::abs(t_[static_cast<std::size_t>(k)]);
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,50 @@
+// Incremental QR of the GMRES Hessenberg matrix via Givens rotations
+// (paper alg. 3 lines 31–43). Runs redundantly on every rank in double
+// precision — the m×m problem is tiny next to the distributed vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hpgmx {
+
+/// Plane rotation [c s; -s c] eliminating b against a.
+struct GivensRotation {
+  double c = 1.0;
+  double s = 0.0;
+};
+
+/// Rotation zeroing `b`: [c s; -s c]ᵀ [a; b] = [r; 0], r = hypot(a, b).
+GivensRotation compute_givens(double a, double b);
+
+/// Incremental QR factorization state of the (m+1)×m Hessenberg matrix.
+class HessenbergQR {
+ public:
+  explicit HessenbergQR(int m);
+
+  /// Start a new cycle: t = beta·e1, no columns.
+  void reset(double beta);
+
+  /// Insert column k (0-based) given its k+2 Hessenberg entries h[0..k+1].
+  /// Applies all previous rotations, computes and stores the new one, and
+  /// updates t. Returns |t[k+1]| — the residual-norm estimate of the
+  /// least-squares problem after k+1 steps.
+  double insert_column(int k, std::span<double> h);
+
+  /// Back-substitute R y = t over the first k columns.
+  void solve(int k, std::span<double> y) const;
+
+  [[nodiscard]] int restart_length() const { return m_; }
+
+  /// Current residual estimate |t[k]| after k inserted columns.
+  [[nodiscard]] double residual_estimate(int k) const;
+
+ private:
+  int m_;
+  std::vector<double> r_;  ///< packed upper-triangular factor, column-major
+  std::vector<double> c_;
+  std::vector<double> s_;
+  std::vector<double> t_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,34 @@
+#include "core/multigrid.hpp"
+
+namespace hpgmx {
+
+ProblemHierarchy build_hierarchy(Problem fine, int max_levels,
+                                 std::uint64_t coloring_seed) {
+  HPGMX_CHECK(max_levels >= 1);
+  ProblemHierarchy h;
+  h.levels.push_back(std::move(fine));
+  while (static_cast<int>(h.levels.size()) < max_levels) {
+    const Problem& f = h.levels.back();
+    if (f.box.nx % 2 != 0 || f.box.ny % 2 != 0 || f.box.nz % 2 != 0 ||
+        f.box.nx < 4 || f.box.ny < 4 || f.box.nz < 4) {
+      break;  // cannot coarsen further
+    }
+    CoarseLevel cl = coarsen(f);
+    // Fused-restrict FLOP model input: nonzeros of the fine rows that the
+    // injection actually evaluates.
+    std::int64_t nnz_sel = 0;
+    for (const local_index_t fr : cl.c2f) {
+      nnz_sel += f.a.row_ptr[fr + 1] - f.a.row_ptr[fr];
+    }
+    h.nnz_coarse_rows.push_back(nnz_sel);
+    h.c2f.push_back(std::move(cl.c2f));
+    h.levels.push_back(std::move(cl.problem));
+  }
+  for (const Problem& p : h.levels) {
+    h.structures.push_back(
+        std::make_unique<OperatorStructure>(build_structure(p, coloring_seed)));
+  }
+  return h;
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,66 @@
+// Benchmark parameters (paper Table 1) with laptop-scale defaults and
+// HPGMX_* environment overrides so the same binaries scale from CI to a
+// large host.
+#pragma once
+
+#include <cstdint>
+
+#include "base/options.hpp"
+#include "base/types.hpp"
+
+namespace hpgmx {
+
+/// Which implementation path to run (paper §3.1 vs §3.2).
+enum class OptLevel {
+  Reference,  ///< CSR, level-scheduled two-kernel GS, unfused restrict, no overlap
+  Optimized,  ///< ELL, one-sweep multicolor GS, fused restrict, overlap
+};
+
+[[nodiscard]] constexpr const char* opt_level_name(OptLevel o) {
+  return o == OptLevel::Reference ? "reference" : "optimized";
+}
+
+/// Run-time parameters of the benchmark (paper Table 1 values in comments).
+struct BenchParams {
+  // Local (per-rank) grid. Paper: 320^3 per GCD; default here is sized for
+  // a single-core CI host. Must be divisible by 2^(mg_levels-1).
+  local_index_t nx = 32;
+  local_index_t ny = 32;
+  local_index_t nz = 32;
+
+  int restart_length = 30;          ///< Table 1: 30
+  int max_iters_per_solve = 300;    ///< Table 1: 300
+  int mg_levels = 4;                ///< HPCG/HPG-MxP: 4
+  int pre_smooth_sweeps = 1;        ///< forward GS sweeps before restriction
+  int post_smooth_sweeps = 1;       ///< sweeps after prolongation
+  int coarse_sweeps = 1;            ///< sweeps on the coarsest level
+
+  double validation_tol = 1e-9;     ///< Table 1: relative tolerance 1e-9
+  int validation_max_iters = 10000; ///< §3.3: fullscale iteration cap
+  int validation_ranks = 8;         ///< Table 1: GCDs used for validation
+
+  double bench_seconds = 2.0;       ///< Table 1: 1800/900 s; CI-sized default
+  double gamma = 0.0;               ///< nonsymmetry (0 = benchmark default)
+  std::uint64_t coloring_seed = 42; ///< JPL weight seed
+
+  OptLevel opt = OptLevel::Optimized;
+
+  /// Apply HPGMX_NX/NY/NZ, HPGMX_RESTART, HPGMX_MAXITERS, HPGMX_BENCH_SECONDS,
+  /// HPGMX_GAMMA, HPGMX_MG_LEVELS environment overrides.
+  static BenchParams from_env() {
+    BenchParams p;
+    p.nx = static_cast<local_index_t>(env_int_or("HPGMX_NX", p.nx));
+    p.ny = static_cast<local_index_t>(env_int_or("HPGMX_NY", p.ny));
+    p.nz = static_cast<local_index_t>(env_int_or("HPGMX_NZ", p.nz));
+    p.restart_length =
+        static_cast<int>(env_int_or("HPGMX_RESTART", p.restart_length));
+    p.max_iters_per_solve =
+        static_cast<int>(env_int_or("HPGMX_MAXITERS", p.max_iters_per_solve));
+    p.mg_levels = static_cast<int>(env_int_or("HPGMX_MG_LEVELS", p.mg_levels));
+    p.bench_seconds = env_double_or("HPGMX_BENCH_SECONDS", p.bench_seconds);
+    p.gamma = env_double_or("HPGMX_GAMMA", p.gamma);
+    return p;
+  }
+};
+
+}  // namespace hpgmx

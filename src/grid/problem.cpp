@@ -1,0 +1,252 @@
+#include "grid/problem.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hpgmx {
+
+namespace {
+
+/// Global-coordinate range [lo, hi) of the overlap between an owner's box
+/// and a reader's box expanded by one layer, along one dimension.
+struct Range {
+  global_index_t lo = 0;
+  global_index_t hi = 0;
+  [[nodiscard]] global_index_t extent() const { return hi - lo; }
+};
+
+/// Along one dimension: the layer of `owner`'s points that `reader` (offset
+/// d = owner_coord - reader_coord ∈ {-1,0,1}) can see through a radius-1
+/// stencil.
+Range shared_layer(global_index_t owner_lo, global_index_t owner_n, int d) {
+  if (d == 0) {
+    return {owner_lo, owner_lo + owner_n};
+  }
+  if (d == 1) {
+    // Owner sits on the positive side of the reader: reader sees the
+    // owner's first layer.
+    return {owner_lo, owner_lo + 1};
+  }
+  // Owner on the negative side: reader sees the owner's last layer.
+  return {owner_lo + owner_n - 1, owner_lo + owner_n};
+}
+
+/// 3D recv/send box between a pair of ranks.
+struct OverlapBox {
+  Range x, y, z;
+  [[nodiscard]] global_index_t count() const {
+    return x.extent() * y.extent() * z.extent();
+  }
+  [[nodiscard]] bool contains(global_index_t gi, global_index_t gj,
+                              global_index_t gk) const {
+    return gi >= x.lo && gi < x.hi && gj >= y.lo && gj < y.hi && gk >= z.lo &&
+           gk < z.hi;
+  }
+  /// Position of a point within the box in global-id (k,j,i ascending) order.
+  [[nodiscard]] local_index_t index_of(global_index_t gi, global_index_t gj,
+                                       global_index_t gk) const {
+    return static_cast<local_index_t>((gi - x.lo) +
+                                      x.extent() * ((gj - y.lo) +
+                                                    y.extent() * (gk - z.lo)));
+  }
+};
+
+struct NeighborGeometry {
+  int rank = -1;
+  OverlapBox recv_box;  ///< neighbor-owned points this rank reads
+  OverlapBox send_box;  ///< this-rank-owned points the neighbor reads
+};
+
+/// All valid stencil neighbors of `rank`, sorted by neighbor rank so both
+/// sides of every pair order the exchange identically.
+std::vector<NeighborGeometry> neighbor_geometry(const ProcessGrid& pgrid,
+                                                int rank,
+                                                const ProblemParams& p) {
+  const ProcCoords me = pgrid.coords_of(rank);
+  std::vector<NeighborGeometry> out;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) {
+          continue;
+        }
+        const ProcCoords nb{me.x + dx, me.y + dy, me.z + dz};
+        if (!pgrid.contains(nb)) {
+          continue;
+        }
+        NeighborGeometry g;
+        g.rank = pgrid.rank_of(nb);
+        // Neighbor-owned layer I read: offset of owner (them) w.r.t. reader
+        // (me) is (dx,dy,dz).
+        g.recv_box = {
+            shared_layer(static_cast<global_index_t>(nb.x) * p.nx, p.nx, dx),
+            shared_layer(static_cast<global_index_t>(nb.y) * p.ny, p.ny, dy),
+            shared_layer(static_cast<global_index_t>(nb.z) * p.nz, p.nz, dz)};
+        // My layer they read: offset of owner (me) w.r.t. reader (them) is
+        // (-dx,-dy,-dz).
+        g.send_box = {
+            shared_layer(static_cast<global_index_t>(me.x) * p.nx, p.nx, -dx),
+            shared_layer(static_cast<global_index_t>(me.y) * p.ny, p.ny, -dy),
+            shared_layer(static_cast<global_index_t>(me.z) * p.nz, p.nz, -dz)};
+        out.push_back(g);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborGeometry& a, const NeighborGeometry& b) {
+              return a.rank < b.rank;
+            });
+  return out;
+}
+
+}  // namespace
+
+Problem generate_problem(const ProcessGrid& pgrid, int rank,
+                         const ProblemParams& p) {
+  HPGMX_CHECK_MSG(p.nx >= 2 && p.ny >= 2 && p.nz >= 2,
+                  "local grid must be at least 2^3");
+  Problem prob;
+  prob.pgrid = pgrid;
+  prob.rank = rank;
+  prob.gamma = p.gamma;
+
+  const ProcCoords me = pgrid.coords_of(rank);
+  GridBox& box = prob.box;
+  box.nx = p.nx;
+  box.ny = p.ny;
+  box.nz = p.nz;
+  box.ox = static_cast<global_index_t>(me.x) * p.nx;
+  box.oy = static_cast<global_index_t>(me.y) * p.ny;
+  box.oz = static_cast<global_index_t>(me.z) * p.nz;
+  box.gnx = static_cast<global_index_t>(pgrid.px()) * p.nx;
+  box.gny = static_cast<global_index_t>(pgrid.py()) * p.ny;
+  box.gnz = static_cast<global_index_t>(pgrid.pz()) * p.nz;
+
+  // -- halo pattern ---------------------------------------------------------
+  const std::vector<NeighborGeometry> nbrs = neighbor_geometry(pgrid, rank, p);
+  const local_index_t n_owned = box.num_local();
+  HaloPattern& halo = prob.halo;
+  halo.n_owned = n_owned;
+  halo.n_halo = 0;
+  halo.neighbors.reserve(nbrs.size());
+  for (const NeighborGeometry& g : nbrs) {
+    HaloNeighbor hn;
+    hn.rank = g.rank;
+    hn.recv_offset = halo.n_halo;
+    hn.recv_count = static_cast<local_index_t>(g.recv_box.count());
+    halo.n_halo += hn.recv_count;
+    // Send indices: my owned points inside the send box, enumerated in
+    // global-id order (k, j, i ascending).
+    hn.send_indices.reserve(static_cast<std::size_t>(g.send_box.count()));
+    for (global_index_t gk = g.send_box.z.lo; gk < g.send_box.z.hi; ++gk) {
+      for (global_index_t gj = g.send_box.y.lo; gj < g.send_box.y.hi; ++gj) {
+        for (global_index_t gi = g.send_box.x.lo; gi < g.send_box.x.hi; ++gi) {
+          hn.send_indices.push_back(box.local_id(
+              static_cast<local_index_t>(gi - box.ox),
+              static_cast<local_index_t>(gj - box.oy),
+              static_cast<local_index_t>(gk - box.oz)));
+        }
+      }
+    }
+    halo.neighbors.push_back(std::move(hn));
+  }
+
+  // Halo local id of an external global point: find its owner among the
+  // sorted neighbors, then its slot in that neighbor's recv box.
+  const auto halo_id = [&](global_index_t gi, global_index_t gj,
+                           global_index_t gk) -> local_index_t {
+    for (std::size_t n = 0; n < nbrs.size(); ++n) {
+      if (nbrs[n].recv_box.contains(gi, gj, gk)) {
+        return n_owned + halo.neighbors[n].recv_offset +
+               nbrs[n].recv_box.index_of(gi, gj, gk);
+      }
+    }
+    HPGMX_CHECK_MSG(false, "external point has no owning neighbor");
+    return -1;
+  };
+
+  // -- matrix ---------------------------------------------------------------
+  const local_index_t num_cols = n_owned + halo.n_halo;
+  CsrBuilder<double> builder(n_owned, num_cols, n_owned,
+                             static_cast<std::int64_t>(n_owned) * 27);
+  prob.b.assign(static_cast<std::size_t>(n_owned), 0.0);
+
+  for (local_index_t k = 0; k < box.nz; ++k) {
+    for (local_index_t j = 0; j < box.ny; ++j) {
+      for (local_index_t i = 0; i < box.nx; ++i) {
+        const global_index_t gi = box.ox + i;
+        const global_index_t gj = box.oy + j;
+        const global_index_t gk = box.oz + k;
+        const global_index_t my_gid = box.global_id(gi, gj, gk);
+        double row_sum = 0.0;
+        for (int dk = -1; dk <= 1; ++dk) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int di = -1; di <= 1; ++di) {
+              const global_index_t ci = gi + di;
+              const global_index_t cj = gj + dj;
+              const global_index_t ck = gk + dk;
+              if (ci < 0 || ci >= box.gnx || cj < 0 || cj >= box.gny ||
+                  ck < 0 || ck >= box.gnz) {
+                continue;  // outside the global domain: no entry
+              }
+              double value;
+              if (di == 0 && dj == 0 && dk == 0) {
+                value = 26.0;
+              } else {
+                const global_index_t col_gid = box.global_id(ci, cj, ck);
+                value = (col_gid > my_gid) ? (-1.0 - p.gamma)
+                                           : (-1.0 + p.gamma);
+              }
+              local_index_t col;
+              const bool owned = ci >= box.ox && ci < box.ox + box.nx &&
+                                 cj >= box.oy && cj < box.oy + box.ny &&
+                                 ck >= box.oz && ck < box.oz + box.nz;
+              if (owned) {
+                col = box.local_id(static_cast<local_index_t>(ci - box.ox),
+                                   static_cast<local_index_t>(cj - box.oy),
+                                   static_cast<local_index_t>(ck - box.oz));
+              } else {
+                col = halo_id(ci, cj, ck);
+              }
+              builder.push(col, value);
+              row_sum += value;
+            }
+          }
+        }
+        builder.finish_row();
+        // b = A·1: the row sum (halo entries of the ones vector are 1 too).
+        prob.b[static_cast<std::size_t>(box.local_id(i, j, k))] = row_sum;
+      }
+    }
+  }
+  prob.a = builder.build();
+  return prob;
+}
+
+CoarseLevel coarsen(const Problem& fine) {
+  const GridBox& fb = fine.box;
+  HPGMX_CHECK_MSG(fb.nx % 2 == 0 && fb.ny % 2 == 0 && fb.nz % 2 == 0,
+                  "coarsening requires even local dims, got "
+                      << fb.nx << "x" << fb.ny << "x" << fb.nz);
+  ProblemParams cp;
+  cp.nx = fb.nx / 2;
+  cp.ny = fb.ny / 2;
+  cp.nz = fb.nz / 2;
+  cp.gamma = fine.gamma;
+
+  CoarseLevel level;
+  level.problem = generate_problem(fine.pgrid, fine.rank, cp);
+  level.c2f.resize(static_cast<std::size_t>(level.problem.box.num_local()));
+  for (local_index_t k = 0; k < cp.nz; ++k) {
+    for (local_index_t j = 0; j < cp.ny; ++j) {
+      for (local_index_t i = 0; i < cp.nx; ++i) {
+        level.c2f[static_cast<std::size_t>(
+            level.problem.box.local_id(i, j, k))] =
+            fb.local_id(2 * i, 2 * j, 2 * k);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,85 @@
+// HPG-MxP synthetic problem generation (paper §2–§3).
+//
+// The benchmark matrix is a 27-point stencil on a uniform 3D Cartesian grid
+// of a cube: every interior row has diagonal 26 and off-diagonals −1, making
+// the matrix weakly diagonally dominant; global-boundary rows simply have
+// fewer off-diagonals. An optional nonsymmetry parameter γ perturbs
+// off-diagonals to −1−γ (neighbor with greater global index) / −1+γ
+// (smaller), preserving weak diagonal dominance for γ < 1 — the benchmark's
+// nonsymmetric variant.
+//
+// Domain decomposition follows HPCG: the global Nx×Ny×Nz grid is split
+// uniformly over a px×py×pz process grid; every rank owns an identical
+// nx×ny×nz box (global dim = local dim × process dim). Ownership of any
+// point is therefore computable locally, which lets both sides of a halo
+// pair derive identical send/receive orderings (sorted by global index)
+// without negotiation messages.
+#pragma once
+
+#include "base/aligned_vector.hpp"
+#include "base/types.hpp"
+#include "comm/halo.hpp"
+#include "grid/process_grid.hpp"
+#include "sparse/csr.hpp"
+
+namespace hpgmx {
+
+/// One rank's box of the global grid.
+struct GridBox {
+  local_index_t nx = 0, ny = 0, nz = 0;        ///< local (owned) dims
+  global_index_t ox = 0, oy = 0, oz = 0;       ///< global offset of the box
+  global_index_t gnx = 0, gny = 0, gnz = 0;    ///< global dims
+
+  [[nodiscard]] local_index_t num_local() const {
+    return nx * ny * nz;
+  }
+  [[nodiscard]] global_index_t num_global() const {
+    return gnx * gny * gnz;
+  }
+  [[nodiscard]] local_index_t local_id(local_index_t i, local_index_t j,
+                                       local_index_t k) const {
+    return i + nx * (j + ny * k);
+  }
+  [[nodiscard]] global_index_t global_id(global_index_t gi, global_index_t gj,
+                                         global_index_t gk) const {
+    return gi + gnx * (gj + gny * gk);
+  }
+};
+
+/// Generation parameters: the per-rank grid and the nonsymmetry knob.
+struct ProblemParams {
+  local_index_t nx = 16;
+  local_index_t ny = 16;
+  local_index_t nz = 16;
+  /// 0 → the symmetric benchmark matrix; >0 → nonsymmetric variant.
+  double gamma = 0.0;
+};
+
+/// One rank's share of a generated level: matrix, halo pattern, rhs.
+struct Problem {
+  GridBox box;
+  ProcessGrid pgrid{1, 1, 1};
+  int rank = 0;
+  double gamma = 0.0;
+
+  CsrMatrix<double> a;
+  HaloPattern halo;
+  /// Right-hand side b = A·1 (exact solution is the ones vector).
+  AlignedVector<double> b;
+};
+
+/// Generate this rank's part of the problem. All ranks must pass identical
+/// params; collective-free.
+Problem generate_problem(const ProcessGrid& pgrid, int rank,
+                         const ProblemParams& params);
+
+/// Geometric coarsening by 2 in each dimension (requires even local dims).
+struct CoarseLevel {
+  Problem problem;
+  /// Injection map: coarse local id → fine local id (both owned).
+  AlignedVector<local_index_t> c2f;
+};
+
+CoarseLevel coarsen(const Problem& fine);
+
+}  // namespace hpgmx

@@ -1,0 +1,42 @@
+#include "grid/process_grid.hpp"
+
+#include <limits>
+
+namespace hpgmx {
+
+ProcessGrid ProcessGrid::create(int size) {
+  HPGMX_CHECK_MSG(size >= 1, "world size must be positive");
+  // Enumerate all factor triples; pick the one minimizing the surface metric
+  // (sum of pairwise products), i.e. closest to a cube. Ties broken toward
+  // px >= py >= pz for determinism.
+  int best_x = size;
+  int best_y = 1;
+  int best_z = 1;
+  long long best_surface = std::numeric_limits<long long>::max();
+  for (int z = 1; z <= size; ++z) {
+    if (size % z != 0) {
+      continue;
+    }
+    const int yz = size / z;
+    for (int y = 1; y <= yz; ++y) {
+      if (yz % y != 0) {
+        continue;
+      }
+      const int x = yz / y;
+      const long long surface = static_cast<long long>(x) * y +
+                                static_cast<long long>(y) * z +
+                                static_cast<long long>(x) * z;
+      if (surface < best_surface ||
+          (surface == best_surface &&
+           (x > best_x || (x == best_x && y > best_y)))) {
+        best_surface = surface;
+        best_x = x;
+        best_y = y;
+        best_z = z;
+      }
+    }
+  }
+  return ProcessGrid(best_x, best_y, best_z);
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,54 @@
+// 3D factorization of ranks, mirroring HPCG/HPG-MxP's processor grid.
+//
+// P ranks are factored into px × py × pz chosen as close to cubic as
+// possible (minimizing communication surface); rank r maps to coordinates
+// (r % px, (r / px) % py, r / (px*py)).
+#pragma once
+
+#include "base/error.hpp"
+
+namespace hpgmx {
+
+struct ProcCoords {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+};
+
+class ProcessGrid {
+ public:
+  /// Factor `size` ranks into the most cubic px*py*pz decomposition.
+  static ProcessGrid create(int size);
+
+  /// Explicit shape (tests, reproducing specific paper configurations).
+  ProcessGrid(int px, int py, int pz) : px_(px), py_(py), pz_(pz) {
+    HPGMX_CHECK(px >= 1 && py >= 1 && pz >= 1);
+  }
+
+  [[nodiscard]] int px() const { return px_; }
+  [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int pz() const { return pz_; }
+  [[nodiscard]] int size() const { return px_ * py_ * pz_; }
+
+  [[nodiscard]] ProcCoords coords_of(int rank) const {
+    HPGMX_CHECK(rank >= 0 && rank < size());
+    return {rank % px_, (rank / px_) % py_, rank / (px_ * py_)};
+  }
+
+  [[nodiscard]] int rank_of(ProcCoords c) const {
+    HPGMX_CHECK(contains(c));
+    return c.x + px_ * (c.y + py_ * c.z);
+  }
+
+  [[nodiscard]] bool contains(ProcCoords c) const {
+    return c.x >= 0 && c.x < px_ && c.y >= 0 && c.y < py_ && c.z >= 0 &&
+           c.z < pz_;
+  }
+
+ private:
+  int px_;
+  int py_;
+  int pz_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,48 @@
+#include "perf/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "base/aligned_vector.hpp"
+#include "base/timer.hpp"
+
+namespace hpgmx {
+
+BandwidthResult measure_stream_bandwidth(std::size_t elements, int reps) {
+  AlignedVector<double> a(elements, 1.0);
+  AlignedVector<double> b(elements, 2.0);
+  AlignedVector<double> c(elements, 3.0);
+  const double s = 0.5;
+
+  BandwidthResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer t;
+    double* __restrict av = a.data();
+    const double* __restrict bv = b.data();
+    const double* __restrict cv = c.data();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < elements; ++i) {
+      av[i] = bv[i] + s * cv[i];
+    }
+    const double sec = t.seconds();
+    // Triad moves 3 arrays (2 reads + 1 write).
+    const double gbs =
+        3.0 * static_cast<double>(elements) * sizeof(double) / sec * 1e-9;
+    out.triad_gbs = std::max(out.triad_gbs, gbs);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer t;
+    double* __restrict av = a.data();
+    const double* __restrict bv = b.data();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < elements; ++i) {
+      av[i] = bv[i];
+    }
+    const double sec = t.seconds();
+    const double gbs =
+        2.0 * static_cast<double>(elements) * sizeof(double) / sec * 1e-9;
+    out.copy_gbs = std::max(out.copy_gbs, gbs);
+  }
+  return out;
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,22 @@
+// Measured memory-bandwidth roof for the roofline analysis (paper Fig. 8):
+// a STREAM-triad-style probe on the host plays the role the vendor HBM
+// bandwidth number plays on the MI250x GCD.
+#pragma once
+
+#include <cstddef>
+
+namespace hpgmx {
+
+struct BandwidthResult {
+  double triad_gbs = 0;  ///< best-of-reps a[i] = b[i] + s*c[i] bandwidth
+  double copy_gbs = 0;   ///< best-of-reps a[i] = b[i] bandwidth
+};
+
+/// Run the probe with 3 arrays of `elements` doubles, `reps` repetitions,
+/// reporting the best sustained rate. The default working set (3 × 256 MB)
+/// deliberately exceeds even large server L3 caches so the roof is DRAM,
+/// not cache, bandwidth.
+BandwidthResult measure_stream_bandwidth(std::size_t elements = (1u << 25),
+                                         int reps = 3);
+
+}  // namespace hpgmx

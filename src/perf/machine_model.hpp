@@ -1,0 +1,66 @@
+// Analytic machine & network model for projecting measured single-node
+// rates to the paper's scales (Figs. 4–6; see DESIGN.md §2 for why this
+// substitutes for runs on Frontier).
+//
+// The model encodes exactly the two large-scale effects the paper blames
+// for its weak-scaling efficiency loss:
+//   1. every dot-product / CGS2 batch is a global allreduce whose latency
+//      grows ~ log2(P);
+//   2. coarse multigrid levels have a higher communication surface-to-
+//      volume ratio, so their halo time cannot be fully hidden.
+// Local compute time per iteration is taken from *measured* per-rank motif
+// rates, not modeled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpgmx {
+
+/// Per-device and network parameters of a modeled machine.
+struct MachineModel {
+  std::string name;
+  double mem_bw_gbs = 0;          ///< streaming memory bandwidth per device
+  double peak_fp64_gflops = 0;    ///< arithmetic roof for rooflines
+  int devices_per_node = 1;
+  double allreduce_alpha_us = 0;  ///< latency per log2(P) reduction stage
+  double allreduce_byte_us = 0;   ///< per-byte cost of an allreduce payload
+  double halo_msg_us = 0;         ///< fixed cost per halo message
+  double link_gbs = 0;            ///< point-to-point link bandwidth
+
+  /// AMD MI250x single GCD on Frontier (vendor peak 1.6 TB/s HBM; paper §4).
+  static MachineModel frontier_gcd();
+  /// NVIDIA Tesla K80 (one GK210 die), the paper's Fig. 6 cluster.
+  static MachineModel k80();
+  /// The host this process runs on, with its measured STREAM bandwidth.
+  static MachineModel host(double measured_triad_gbs);
+};
+
+/// What one solver iteration costs one rank, measured at small scale.
+struct IterationProfile {
+  double local_seconds = 0;    ///< on-rank compute time per iteration
+  double flops = 0;            ///< FLOPs per rank per iteration
+  int allreduces = 0;          ///< global reductions per iteration
+  double allreduce_bytes = 0;  ///< average payload per reduction
+  int halo_messages = 0;       ///< halo messages per iteration (all levels)
+  double halo_bytes = 0;       ///< total halo bytes per iteration
+  /// Fraction of halo time hidden behind compute (measured overlap; the
+  /// optimized implementation approaches 1 on fine levels).
+  double overlap_efficiency = 1.0;
+};
+
+/// Projection of one scale point.
+struct ScalePoint {
+  int nodes = 0;
+  long long ranks = 0;
+  double seconds_per_iter = 0;
+  double gflops_per_rank = 0;
+  double efficiency = 1.0;  ///< vs the 1-node projection
+};
+
+/// Project weak scaling over a list of node counts.
+std::vector<ScalePoint> project_weak_scaling(const MachineModel& m,
+                                             const IterationProfile& prof,
+                                             const std::vector<int>& nodes);
+
+}  // namespace hpgmx

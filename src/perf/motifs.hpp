@@ -1,0 +1,130 @@
+// Per-motif accounting of time and floating-point work.
+//
+// The benchmark reports its breakdown over the computational motifs of
+// GMRES-IR (paper Fig. 7): Gauss–Seidel smoothing, CGS2 orthogonalization,
+// SpMV, restriction, plus the smaller prolongation/vector-update/other
+// buckets. FLOPs of all precisions count equally (paper §3: the metric is a
+// mixed-precision GFLOP/s figure).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "base/timer.hpp"
+#include "base/types.hpp"
+
+namespace hpgmx {
+
+enum class Motif : int {
+  GS = 0,      ///< Gauss–Seidel smoother sweeps (all multigrid levels)
+  Ortho,       ///< CGS2 orthogonalization (GEMV-T/N, norms)
+  SpMV,        ///< fine-level products and residuals
+  Restrict,    ///< (fused) residual restriction
+  Prolong,     ///< prolongation + correction
+  Vector,      ///< WAXPBY / scal / copy updates
+  Other,       ///< everything else (Givens QR, small solves)
+  kCount
+};
+
+inline constexpr int kNumMotifs = static_cast<int>(Motif::kCount);
+
+[[nodiscard]] constexpr std::string_view motif_name(Motif m) {
+  switch (m) {
+    case Motif::GS: return "GS";
+    case Motif::Ortho: return "Ortho";
+    case Motif::SpMV: return "SpMV";
+    case Motif::Restrict: return "Restr";
+    case Motif::Prolong: return "Prolong";
+    case Motif::Vector: return "Vector";
+    case Motif::Other: return "Other";
+    case Motif::kCount: break;
+  }
+  return "?";
+}
+
+/// Accumulated wall time and FLOPs per motif.
+class MotifStats {
+ public:
+  void add(Motif m, double seconds, flop_count_t flops) {
+    seconds_[static_cast<std::size_t>(m)] += seconds;
+    flops_[static_cast<std::size_t>(m)] += flops;
+  }
+
+  void add_flops(Motif m, flop_count_t flops) {
+    flops_[static_cast<std::size_t>(m)] += flops;
+  }
+
+  [[nodiscard]] double seconds(Motif m) const {
+    return seconds_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] flop_count_t flops(Motif m) const {
+    return flops_[static_cast<std::size_t>(m)];
+  }
+
+  [[nodiscard]] double total_seconds() const {
+    double t = 0;
+    for (const double s : seconds_) {
+      t += s;
+    }
+    return t;
+  }
+
+  [[nodiscard]] flop_count_t total_flops() const {
+    flop_count_t f = 0;
+    for (const flop_count_t x : flops_) {
+      f += x;
+    }
+    return f;
+  }
+
+  /// GFLOP/s of one motif (0 when it consumed no time).
+  [[nodiscard]] double gflops(Motif m) const {
+    const double s = seconds(m);
+    return s > 0 ? static_cast<double>(flops(m)) / s * 1e-9 : 0.0;
+  }
+
+  void merge(const MotifStats& other) {
+    for (int i = 0; i < kNumMotifs; ++i) {
+      seconds_[static_cast<std::size_t>(i)] +=
+          other.seconds_[static_cast<std::size_t>(i)];
+      flops_[static_cast<std::size_t>(i)] +=
+          other.flops_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  void reset() {
+    seconds_.fill(0.0);
+    flops_.fill(0);
+  }
+
+ private:
+  std::array<double, kNumMotifs> seconds_{};
+  std::array<flop_count_t, kNumMotifs> flops_{};
+};
+
+/// RAII timer: charges the elapsed scope time (and given FLOPs) to a motif.
+class ScopedMotif {
+ public:
+  ScopedMotif(MotifStats* stats, Motif motif, flop_count_t flops = 0)
+      : stats_(stats), motif_(motif), flops_(flops) {}
+
+  ~ScopedMotif() {
+    if (stats_ != nullptr) {
+      stats_->add(motif_, timer_.seconds(), flops_);
+    }
+  }
+
+  ScopedMotif(const ScopedMotif&) = delete;
+  ScopedMotif& operator=(const ScopedMotif&) = delete;
+
+  /// FLOPs may be known only at scope end; set/override them here.
+  void set_flops(flop_count_t flops) { flops_ = flops; }
+
+ private:
+  MotifStats* stats_;
+  Motif motif_;
+  flop_count_t flops_;
+  WallTimer timer_;
+};
+
+}  // namespace hpgmx

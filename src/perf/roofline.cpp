@@ -1,0 +1,38 @@
+#include "perf/roofline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hpgmx {
+
+double roofline_attainable_gflops(double intensity_flop_per_byte,
+                                  double mem_bw_gbs, double peak_gflops) {
+  const double bw_roof = mem_bw_gbs * intensity_flop_per_byte;
+  if (peak_gflops <= 0) {
+    return bw_roof;
+  }
+  return std::min(bw_roof, peak_gflops);
+}
+
+std::string roofline_report(const std::vector<KernelSample>& samples,
+                            double mem_bw_gbs, double peak_gflops) {
+  std::ostringstream os;
+  os << std::left << std::setw(30) << "kernel" << std::right << std::setw(10)
+     << "AI(F/B)" << std::setw(12) << "GFLOP/s" << std::setw(12) << "roof"
+     << std::setw(9) << "%roof" << std::setw(12) << "GB/s" << '\n';
+  os << std::string(85, '-') << '\n';
+  for (const auto& s : samples) {
+    const double ai = s.arithmetic_intensity();
+    const double roof = roofline_attainable_gflops(ai, mem_bw_gbs, peak_gflops);
+    os << std::left << std::setw(30) << s.name << std::right << std::fixed
+       << std::setprecision(3) << std::setw(10) << ai << std::setprecision(2)
+       << std::setw(12) << s.achieved_gflops() << std::setw(12) << roof
+       << std::setprecision(1) << std::setw(8)
+       << (roof > 0 ? s.achieved_gflops() / roof * 100.0 : 0.0) << '%'
+       << std::setprecision(2) << std::setw(12) << s.achieved_gbs() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hpgmx

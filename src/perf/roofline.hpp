@@ -1,0 +1,39 @@
+// Roofline bookkeeping (paper Fig. 8): kernels characterized by their
+// modeled FLOP and byte counts and their measured wall time, compared
+// against the machine's bandwidth roof.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpgmx {
+
+/// One kernel's roofline sample.
+struct KernelSample {
+  std::string name;
+  double flops = 0;    ///< floating-point operations performed
+  double bytes = 0;    ///< bytes moved to/from memory (model)
+  double seconds = 0;  ///< measured wall time
+
+  [[nodiscard]] double arithmetic_intensity() const {
+    return bytes > 0 ? flops / bytes : 0;
+  }
+  [[nodiscard]] double achieved_gflops() const {
+    return seconds > 0 ? flops / seconds * 1e-9 : 0;
+  }
+  [[nodiscard]] double achieved_gbs() const {
+    return seconds > 0 ? bytes / seconds * 1e-9 : 0;
+  }
+};
+
+/// Attainable GFLOP/s at a given intensity under the given roofs
+/// (peak_gflops <= 0 means bandwidth roof only).
+double roofline_attainable_gflops(double intensity_flop_per_byte,
+                                  double mem_bw_gbs, double peak_gflops);
+
+/// Formatted table: kernel, AI, achieved GF/s, roof GF/s, % of roof,
+/// achieved GB/s.
+std::string roofline_report(const std::vector<KernelSample>& samples,
+                            double mem_bw_gbs, double peak_gflops);
+
+}  // namespace hpgmx

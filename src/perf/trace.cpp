@@ -1,0 +1,170 @@
+#include "perf/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace hpgmx {
+
+void TraceRecorder::record(int rank, std::string_view lane,
+                           std::string_view name, double t_begin,
+                           double t_end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      {rank, std::string(lane), std::string(name), t_begin, t_end});
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events_for(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.rank == rank) {
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.t_begin < b.t_begin;
+            });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+namespace {
+
+/// Merge intervals and return total covered length.
+double covered_seconds(std::vector<std::pair<double, double>> iv) {
+  std::sort(iv.begin(), iv.end());
+  double total = 0;
+  double cur_lo = 0, cur_hi = -1;
+  for (const auto& [lo, hi] : iv) {
+    if (hi <= cur_hi) {
+      continue;
+    }
+    if (lo > cur_hi) {
+      if (cur_hi > cur_lo) {
+        total += cur_hi - cur_lo;
+      }
+      cur_lo = lo;
+      cur_hi = hi;
+    } else {
+      cur_hi = hi;
+    }
+  }
+  if (cur_hi > cur_lo) {
+    total += cur_hi - cur_lo;
+  }
+  return total;
+}
+
+/// Intersection length of two merged interval sets.
+double intersection_seconds(std::vector<std::pair<double, double>> a,
+                            std::vector<std::pair<double, double>> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double total = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double TraceRecorder::lane_busy_seconds(int rank,
+                                        std::string_view lane) const {
+  std::vector<std::pair<double, double>> iv;
+  for (const auto& e : events_for(rank)) {
+    if (e.lane == lane) {
+      iv.emplace_back(e.t_begin, e.t_end);
+    }
+  }
+  return covered_seconds(std::move(iv));
+}
+
+double TraceRecorder::overlap_fraction(int rank, std::string_view lane_a,
+                                       std::string_view lane_b) const {
+  std::vector<std::pair<double, double>> a, b;
+  for (const auto& e : events_for(rank)) {
+    if (e.lane == lane_a) {
+      a.emplace_back(e.t_begin, e.t_end);
+    } else if (e.lane == lane_b) {
+      b.emplace_back(e.t_begin, e.t_end);
+    }
+  }
+  const double busy_a = covered_seconds(a);
+  if (busy_a <= 0) {
+    return 0.0;
+  }
+  return intersection_seconds(std::move(a), std::move(b)) / busy_a;
+}
+
+std::string TraceRecorder::render_timeline(int rank, int width) const {
+  const auto evs = events_for(rank);
+  if (evs.empty()) {
+    return "(no events)\n";
+  }
+  double t0 = evs.front().t_begin;
+  double t1 = t0;
+  for (const auto& e : evs) {
+    t0 = std::min(t0, e.t_begin);
+    t1 = std::max(t1, e.t_end);
+  }
+  const double span = std::max(t1 - t0, 1e-12);
+
+  // Stable lane order: first appearance.
+  std::vector<std::string> lanes;
+  for (const auto& e : evs) {
+    if (std::find(lanes.begin(), lanes.end(), e.lane) == lanes.end()) {
+      lanes.push_back(e.lane);
+    }
+  }
+
+  std::ostringstream os;
+  os << "rank " << rank << "  [" << t0 << "s .. " << t1 << "s], "
+     << (span * 1e3) << " ms total\n";
+  for (const auto& lane : lanes) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& e : evs) {
+      if (e.lane != lane) {
+        continue;
+      }
+      int b = static_cast<int>(std::floor((e.t_begin - t0) / span * width));
+      int en = static_cast<int>(std::ceil((e.t_end - t0) / span * width));
+      b = std::clamp(b, 0, width - 1);
+      en = std::clamp(en, b + 1, width);
+      const char glyph = e.name.empty() ? '#' : e.name[0];
+      for (int c = b; c < en; ++c) {
+        row[static_cast<std::size_t>(c)] = glyph;
+      }
+    }
+    os << "  " << lane;
+    for (std::size_t pad = lane.size(); pad < 10; ++pad) {
+      os << ' ';
+    }
+    os << '|' << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,56 @@
+// Timeline tracing of compute and communication lanes (paper Fig. 9).
+//
+// Ranks record (lane, name, interval) events through the EventSink
+// interface; the recorder renders per-rank ASCII timelines and computes how
+// much of the halo lane's busy time was hidden behind the compute lane —
+// the quantitative version of "communication is completely hidden by the
+// interior Gauss–Seidel kernel".
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/event_sink.hpp"
+
+namespace hpgmx {
+
+struct TraceEvent {
+  int rank = 0;
+  std::string lane;
+  std::string name;
+  double t_begin = 0;
+  double t_end = 0;
+};
+
+class TraceRecorder final : public EventSink {
+ public:
+  void record(int rank, std::string_view lane, std::string_view name,
+              double t_begin, double t_end) override;
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events of one rank, sorted by begin time.
+  [[nodiscard]] std::vector<TraceEvent> events_for(int rank) const;
+
+  void clear();
+
+  /// ASCII timeline of one rank: one row per lane, `width` time bins between
+  /// the rank's first and last event.
+  [[nodiscard]] std::string render_timeline(int rank, int width = 96) const;
+
+  /// Fraction of `lane_a` busy time that coincides with `lane_b` busy time
+  /// on `rank` (1.0 = fully overlapped/hidden).
+  [[nodiscard]] double overlap_fraction(int rank, std::string_view lane_a,
+                                        std::string_view lane_b) const;
+
+  /// Total busy seconds of a lane on a rank.
+  [[nodiscard]] double lane_busy_seconds(int rank,
+                                         std::string_view lane) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hpgmx

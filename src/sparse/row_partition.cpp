@@ -1,0 +1,30 @@
+#include "sparse/row_partition.hpp"
+
+#include <numeric>
+
+namespace hpgmx {
+
+RowPartition RowPartition::from_group_ids(std::span<const int> group_of_row,
+                                          int num_groups) {
+  HPGMX_CHECK(num_groups >= 0);
+  RowPartition part;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_groups), 0);
+  for (const int g : group_of_row) {
+    HPGMX_CHECK_MSG(g >= 0 && g < num_groups, "group id out of range: " << g);
+    ++counts[static_cast<std::size_t>(g)];
+  }
+  part.group_offsets.resize(static_cast<std::size_t>(num_groups) + 1, 0);
+  std::partial_sum(counts.begin(), counts.end(),
+                   part.group_offsets.begin() + 1);
+  part.rows.resize(group_of_row.size());
+  std::vector<std::int64_t> cursor(part.group_offsets.begin(),
+                                   part.group_offsets.end() - 1);
+  for (std::size_t r = 0; r < group_of_row.size(); ++r) {
+    const auto g = static_cast<std::size_t>(group_of_row[r]);
+    part.rows[static_cast<std::size_t>(cursor[g]++)] =
+        static_cast<local_index_t>(r);
+  }
+  return part;
+}
+
+}  // namespace hpgmx

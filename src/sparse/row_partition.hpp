@@ -1,0 +1,50 @@
+// Grouping of matrix rows into ordered groups processed one after another,
+// with full parallelism inside a group.
+//
+// Two producers: graph coloring (groups = independent-set colors, the
+// optimized Gauss–Seidel path) and level scheduling (groups = dependency
+// levels of the triangular factor, the reference path).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/aligned_vector.hpp"
+#include "base/error.hpp"
+#include "base/types.hpp"
+
+namespace hpgmx {
+
+/// Concatenated row groups; group g owns rows[group_offsets[g] ..
+/// group_offsets[g+1]).
+struct RowPartition {
+  AlignedVector<local_index_t> rows;
+  std::vector<std::int64_t> group_offsets{0};
+
+  [[nodiscard]] int num_groups() const {
+    return static_cast<int>(group_offsets.size()) - 1;
+  }
+
+  [[nodiscard]] local_index_t num_rows() const {
+    return static_cast<local_index_t>(rows.size());
+  }
+
+  [[nodiscard]] std::span<const local_index_t> group(int g) const {
+    HPGMX_CHECK(g >= 0 && g < num_groups());
+    const auto begin = static_cast<std::size_t>(group_offsets[g]);
+    const auto end = static_cast<std::size_t>(group_offsets[g + 1]);
+    return {rows.data() + begin, end - begin};
+  }
+
+  /// Append one group given its row ids.
+  void add_group(std::span<const local_index_t> group_rows) {
+    rows.insert(rows.end(), group_rows.begin(), group_rows.end());
+    group_offsets.push_back(static_cast<std::int64_t>(rows.size()));
+  }
+
+  /// Build from a per-row group id array (group ids in [0, num_groups)).
+  static RowPartition from_group_ids(std::span<const int> group_of_row,
+                                     int num_groups);
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,29 @@
+#include "sparse/sptrsv.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hpgmx {
+
+RowPartition build_lower_level_schedule(
+    local_index_t num_rows, std::span<const std::int64_t> row_ptr,
+    std::span<const local_index_t> col_idx) {
+  std::vector<int> level(static_cast<std::size_t>(num_rows), 0);
+  int max_level = -1;
+  // In natural order, all lower-triangle dependencies of row r precede r, so
+  // one forward pass computes longest-path levels.
+  for (local_index_t r = 0; r < num_rows; ++r) {
+    int lvl = 0;
+    for (std::int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const local_index_t c = col_idx[static_cast<std::size_t>(p)];
+      if (c < r) {
+        lvl = std::max(lvl, level[static_cast<std::size_t>(c)] + 1);
+      }
+    }
+    level[static_cast<std::size_t>(r)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  return RowPartition::from_group_ids(level, max_level + 1);
+}
+
+}  // namespace hpgmx

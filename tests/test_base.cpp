@@ -1,0 +1,118 @@
+// Unit tests for src/base: types, traits, aligned storage, RNG, errors,
+// options, timers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "base/aligned_vector.hpp"
+#include "base/epoch.hpp"
+#include "base/error.hpp"
+#include "base/options.hpp"
+#include "base/rng.hpp"
+#include "base/timer.hpp"
+#include "base/types.hpp"
+
+namespace hpgmx {
+namespace {
+
+TEST(PrecisionTraits, NamesAndBytes) {
+  EXPECT_EQ(PrecisionTraits<double>::name, "fp64");
+  EXPECT_EQ(PrecisionTraits<float>::name, "fp32");
+  EXPECT_EQ(PrecisionTraits<double>::bytes, 8u);
+  EXPECT_EQ(PrecisionTraits<float>::bytes, 4u);
+}
+
+TEST(PrecisionTraits, UnitRoundoff) {
+  EXPECT_DOUBLE_EQ(PrecisionTraits<double>::unit_roundoff, 0x1.0p-53);
+  EXPECT_FLOAT_EQ(PrecisionTraits<float>::unit_roundoff, 0x1.0p-24f);
+}
+
+TEST(PrecisionTraits, WiderType) {
+  static_assert(std::is_same_v<wider_t<float, double>, double>);
+  static_assert(std::is_same_v<wider_t<double, float>, double>);
+  static_assert(std::is_same_v<wider_t<float, float>, float>);
+}
+
+TEST(AlignedVector, AlignmentIs64Bytes) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<double> v(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(AlignedVector, BehavesLikeVector) {
+  AlignedVector<int> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[42], 42);
+}
+
+TEST(Rng, Deterministic) {
+  EXPECT_EQ(hash_rand(1, 2), hash_rand(1, 2));
+  EXPECT_NE(hash_rand(1, 2), hash_rand(1, 3));
+  EXPECT_NE(hash_rand(1, 2), hash_rand(2, 2));
+}
+
+TEST(Rng, UnitRangeAndSpread) {
+  int low = 0, high = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = unit_rand(7, i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    if (u < 0.5) {
+      ++low;
+    } else {
+      ++high;
+    }
+  }
+  // Crude uniformity check: both halves populated within 10%.
+  EXPECT_NEAR(static_cast<double>(low) / 10000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(high) / 10000.0, 0.5, 0.05);
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(HPGMX_CHECK(1 + 1 == 2));
+  try {
+    HPGMX_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Options, IntAndDoubleParsing) {
+  ::setenv("HPGMX_TEST_INT", "123", 1);
+  ::setenv("HPGMX_TEST_DBL", "2.5", 1);
+  ::setenv("HPGMX_TEST_BAD", "abc", 1);
+  EXPECT_EQ(env_int_or("HPGMX_TEST_INT", 7), 123);
+  EXPECT_DOUBLE_EQ(env_double_or("HPGMX_TEST_DBL", 7.0), 2.5);
+  EXPECT_EQ(env_int_or("HPGMX_TEST_MISSING", 7), 7);
+  EXPECT_FALSE(env_int("HPGMX_TEST_BAD").has_value());
+  ::unsetenv("HPGMX_TEST_INT");
+  ::unsetenv("HPGMX_TEST_DBL");
+  ::unsetenv("HPGMX_TEST_BAD");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Epoch, MonotoneAcrossCalls) {
+  const double a = epoch_seconds();
+  const double b = epoch_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace hpgmx

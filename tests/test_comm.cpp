@@ -1,0 +1,330 @@
+// Unit and property tests for the message-passing substrate: SelfComm,
+// ThreadComm point-to-point, collectives at several rank counts, halo
+// exchange against an allgather oracle.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/halo.hpp"
+#include "comm/thread_comm.hpp"
+
+namespace hpgmx {
+namespace {
+
+TEST(SelfComm, RankAndSize) {
+  SelfComm comm;
+  EXPECT_EQ(comm.rank(), 0);
+  EXPECT_EQ(comm.size(), 1);
+}
+
+TEST(SelfComm, SelfMessagingRoundTrip) {
+  SelfComm comm;
+  const std::vector<double> out{1.0, 2.0, 3.0};
+  comm.send(0, 5, std::span<const double>(out));
+  std::vector<double> in(3, 0.0);
+  comm.recv(0, 5, std::span<double>(in));
+  EXPECT_EQ(in, out);
+}
+
+TEST(SelfComm, IrecvMatchesLaterSend) {
+  SelfComm comm;
+  std::vector<int32_t> in(2, 0);
+  Request req = comm.irecv(0, 9, std::span<int32_t>(in));
+  const std::vector<int32_t> out{7, 8};
+  comm.send(0, 9, std::span<const int32_t>(out));
+  req.wait();
+  EXPECT_EQ(in, out);
+}
+
+TEST(SelfComm, AllreduceIsCopy) {
+  SelfComm comm;
+  EXPECT_DOUBLE_EQ(comm.allreduce_scalar(3.25, ReduceOp::Sum), 3.25);
+  EXPECT_DOUBLE_EQ(comm.allreduce_scalar(3.25, ReduceOp::Max), 3.25);
+}
+
+TEST(SelfComm, RecvWithoutSendThrows) {
+  SelfComm comm;
+  std::vector<double> in(1);
+  EXPECT_THROW(comm.recv(0, 1, std::span<double>(in)), Error);
+}
+
+class ThreadCommSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCommSizes, RanksAreDistinctAndComplete) {
+  const int p = GetParam();
+  std::vector<int> seen(static_cast<std::size_t>(p), 0);
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), p);
+    seen[static_cast<std::size_t>(comm.rank())] = 1;
+  });
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), p);
+}
+
+TEST_P(ThreadCommSizes, AllreduceSum) {
+  const int p = GetParam();
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const double total =
+        comm.allreduce_scalar(static_cast<double>(comm.rank() + 1),
+                              ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(total, p * (p + 1) / 2.0);
+  });
+}
+
+TEST_P(ThreadCommSizes, AllreduceMaxMin) {
+  const int p = GetParam();
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    EXPECT_EQ(
+        comm.allreduce_scalar(static_cast<std::int64_t>(comm.rank()),
+                              ReduceOp::Max),
+        p - 1);
+    EXPECT_EQ(
+        comm.allreduce_scalar(static_cast<std::int64_t>(comm.rank()),
+                              ReduceOp::Min),
+        0);
+  });
+}
+
+TEST_P(ThreadCommSizes, AllreduceVectorFloat) {
+  const int p = GetParam();
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const std::vector<float> in{static_cast<float>(comm.rank()), 1.0f};
+    std::vector<float> out(2);
+    comm.allreduce(std::span<const float>(in), std::span<float>(out),
+                   ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(out[0], p * (p - 1) / 2.0f);
+    EXPECT_FLOAT_EQ(out[1], static_cast<float>(p));
+  });
+}
+
+TEST_P(ThreadCommSizes, Allgather) {
+  const int p = GetParam();
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const std::vector<std::int64_t> mine{comm.rank() * 10LL,
+                                         comm.rank() * 10LL + 1};
+    std::vector<std::int64_t> all(static_cast<std::size_t>(2 * p));
+    comm.allgather(std::span<const std::int64_t>(mine),
+                   std::span<std::int64_t>(all));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r * 10);
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10 + 1);
+    }
+  });
+}
+
+TEST_P(ThreadCommSizes, Bcast) {
+  const int p = GetParam();
+  const int root = p - 1;
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    std::vector<double> data{comm.rank() == root ? 42.0 : -1.0};
+    comm.bcast(std::span<double>(data), root);
+    EXPECT_DOUBLE_EQ(data[0], 42.0);
+  });
+}
+
+TEST_P(ThreadCommSizes, RingSendRecv) {
+  const int p = GetParam();
+  if (p < 2) {
+    GTEST_SKIP() << "ring needs 2+ ranks";
+  }
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    const std::vector<double> out{static_cast<double>(comm.rank())};
+    std::vector<double> in(1, -1.0);
+    comm.send(next, 3, std::span<const double>(out));
+    comm.recv(prev, 3, std::span<double>(in));
+    EXPECT_DOUBLE_EQ(in[0], static_cast<double>(prev));
+  });
+}
+
+TEST_P(ThreadCommSizes, NonblockingExchange) {
+  const int p = GetParam();
+  if (p < 2) {
+    GTEST_SKIP();
+  }
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const int partner = comm.rank() ^ 1;
+    if (partner >= p) {
+      return;  // odd rank count: last rank sits out
+    }
+    std::vector<float> in(4, 0.0f);
+    std::vector<float> out(4, static_cast<float>(comm.rank()));
+    Request rreq = comm.irecv(partner, 11, std::span<float>(in));
+    Request sreq = comm.isend(partner, 11, std::span<const float>(out));
+    sreq.wait();
+    rreq.wait();
+    for (const float v : in) {
+      EXPECT_FLOAT_EQ(v, static_cast<float>(partner));
+    }
+  });
+}
+
+TEST_P(ThreadCommSizes, DeterministicSumOrder) {
+  // Rank-ordered reduction: results are bit-identical across repetitions
+  // even with values that do not commute exactly in floating point.
+  const int p = GetParam();
+  double first = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<double> result(static_cast<std::size_t>(p));
+    ThreadCommWorld::execute(p, [&](Comm& comm) {
+      const double mine = 1.0 / (3.0 + comm.rank()) * 1e-7 + comm.rank();
+      result[static_cast<std::size_t>(comm.rank())] =
+          comm.allreduce_scalar(mine, ReduceOp::Sum);
+    });
+    for (int r = 1; r < p; ++r) {
+      ASSERT_EQ(result[0], result[static_cast<std::size_t>(r)]);
+    }
+    if (rep == 0) {
+      first = result[0];
+    } else {
+      ASSERT_EQ(first, result[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ThreadCommSizes,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadCommWorld, ExceptionPropagates) {
+  EXPECT_THROW(ThreadCommWorld::execute(2,
+                                        [](Comm& comm) {
+                                          if (comm.rank() == 1) {
+                                            // Both ranks throw so neither
+                                            // blocks in a collective.
+                                          }
+                                          throw Error("boom",
+                                                      std::source_location::
+                                                          current());
+                                        }),
+               Error);
+}
+
+TEST(ThreadCommWorld, MessagesDoNotCrossTags) {
+  ThreadCommWorld::execute(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int32_t> a{1}, b{2};
+      comm.send(1, 100, std::span<const int32_t>(a));
+      comm.send(1, 200, std::span<const int32_t>(b));
+    } else {
+      std::vector<int32_t> a(1), b(1);
+      comm.recv(0, 200, std::span<int32_t>(b));  // out of order on purpose
+      comm.recv(0, 100, std::span<int32_t>(a));
+      EXPECT_EQ(a[0], 1);
+      EXPECT_EQ(b[0], 2);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Halo exchange on a hand-built 1D pattern: each rank owns 4 entries and
+// reads one ghost from each side neighbor.
+// ---------------------------------------------------------------------------
+
+HaloPattern line_pattern(int rank, int p, local_index_t n_owned) {
+  HaloPattern pat;
+  pat.n_owned = n_owned;
+  pat.n_halo = 0;
+  if (rank > 0) {
+    HaloNeighbor nb;
+    nb.rank = rank - 1;
+    nb.send_indices = {0};
+    nb.recv_offset = pat.n_halo;
+    nb.recv_count = 1;
+    pat.n_halo += 1;
+    pat.neighbors.push_back(std::move(nb));
+  }
+  if (rank + 1 < p) {
+    HaloNeighbor nb;
+    nb.rank = rank + 1;
+    nb.send_indices = {n_owned - 1};
+    nb.recv_offset = pat.n_halo;
+    nb.recv_count = 1;
+    pat.n_halo += 1;
+    pat.neighbors.push_back(std::move(nb));
+  }
+  return pat;
+}
+
+class HaloLineSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaloLineSizes, ExchangeMatchesNeighborValues) {
+  const int p = GetParam();
+  const local_index_t n = 4;
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const HaloPattern pat = line_pattern(rank, p, n);
+    HaloExchange<double> hx(&pat, /*tag=*/0);
+    AlignedVector<double> x(static_cast<std::size_t>(pat.vector_length()),
+                            -1.0);
+    for (local_index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = rank * 100.0 + i;
+    }
+    hx.exchange(comm, std::span<double>(x.data(), x.size()));
+    std::size_t h = static_cast<std::size_t>(n);
+    if (rank > 0) {
+      // Left neighbor sent its last entry.
+      EXPECT_DOUBLE_EQ(x[h++], (rank - 1) * 100.0 + (n - 1));
+    }
+    if (rank + 1 < p) {
+      EXPECT_DOUBLE_EQ(x[h++], (rank + 1) * 100.0 + 0);
+    }
+  });
+}
+
+TEST_P(HaloLineSizes, SplitPhaseAllowsOwnedWrites) {
+  const int p = GetParam();
+  if (p < 2) {
+    GTEST_SKIP();
+  }
+  const local_index_t n = 4;
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const HaloPattern pat = line_pattern(rank, p, n);
+    HaloExchange<float> hx(&pat, /*tag=*/1);
+    AlignedVector<float> x(static_cast<std::size_t>(pat.vector_length()),
+                           0.0f);
+    for (local_index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<float>(rank);
+    }
+    hx.begin(comm, std::span<float>(x.data(), x.size()));
+    // The §3.2.3 event semantics: owned entries (including packed boundary
+    // ones) may be overwritten after begin(); neighbors still receive the
+    // OLD values.
+    for (local_index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = -999.0f;
+    }
+    hx.finish(comm);
+    for (local_index_t i = n; i < pat.vector_length(); ++i) {
+      EXPECT_GE(x[static_cast<std::size_t>(i)], 0.0f)
+          << "halo entry must hold the neighbor's pre-overwrite value";
+    }
+  });
+}
+
+TEST_P(HaloLineSizes, BytesPerExchangeAccounting) {
+  const int p = GetParam();
+  const HaloPattern pat = line_pattern(0, p, 4);
+  HaloExchange<double> hx(&pat, 2);
+  const std::size_t expected =
+      (p > 1) ? 2 * sizeof(double) : 0;  // 1 send + 1 recv with right neighbor
+  EXPECT_EQ(hx.bytes_per_exchange(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(LineWorlds, HaloLineSizes,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(HaloExchange, BeginTwiceThrows) {
+  SelfComm comm;
+  const HaloPattern pat = line_pattern(0, 1, 4);
+  HaloExchange<double> hx(&pat, 3);
+  AlignedVector<double> x(4, 0.0);
+  hx.begin(comm, std::span<double>(x.data(), x.size()));
+  EXPECT_THROW(hx.begin(comm, std::span<double>(x.data(), x.size())), Error);
+  hx.finish(comm);
+  EXPECT_THROW(hx.finish(comm), Error);
+}
+
+}  // namespace
+}  // namespace hpgmx

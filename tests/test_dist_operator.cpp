@@ -1,0 +1,314 @@
+// DistOperator tests: reference vs optimized path equivalence for SpMV and
+// restriction, Gauss–Seidel semantics under overlap, interior/boundary
+// splits, distributed SpMV against a serial oracle, FLOP model consistency.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "comm/thread_comm.hpp"
+#include "core/dist_operator.hpp"
+#include "core/multigrid.hpp"
+#include "grid/problem.hpp"
+#include "perf/trace.hpp"
+
+namespace hpgmx {
+namespace {
+
+BenchParams ref_params() {
+  BenchParams p;
+  p.opt = OptLevel::Reference;
+  return p;
+}
+
+TEST(OperatorStructure, SplitsCoverAllRows) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 4;
+  const ProcessGrid pgrid = ProcessGrid::create(8);
+  const Problem prob = generate_problem(pgrid, 0, pp);
+  const OperatorStructure s = build_structure(prob, 42);
+  EXPECT_EQ(static_cast<local_index_t>(s.interior_rows.size() +
+                                       s.boundary_rows.size()),
+            prob.a.num_rows);
+  EXPECT_EQ(s.colors.num_rows(), prob.a.num_rows);
+  EXPECT_EQ(s.colors_interior.num_groups(), s.colors.num_groups());
+  EXPECT_EQ(s.colors_boundary.num_groups(), s.colors.num_groups());
+  // Rank 0 of a 2x2x2 grid has 3 face + 3 edge + 1 corner neighbors.
+  EXPECT_EQ(prob.halo.neighbors.size(), 7u);
+  // On a 4^3 box with neighbors on the high sides, boundary rows are those
+  // with i==3 or j==3 or k==3: 4^3 - 3^3 = 37.
+  EXPECT_EQ(s.boundary_rows.size(), 37u);
+}
+
+TEST(OperatorStructure, SingleRankHasNoBoundaryRows) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 4;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const OperatorStructure s = build_structure(prob, 42);
+  EXPECT_TRUE(s.boundary_rows.empty());
+  EXPECT_EQ(s.interior_rows.size(), 64u);
+}
+
+class DistSpmv : public ::testing::TestWithParam<std::tuple<int, OptLevel>> {};
+
+TEST_P(DistSpmv, MatchesSerialOracle) {
+  const auto [p, opt] = GetParam();
+  const ProcessGrid pgrid = ProcessGrid::create(p);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 4;
+
+  // Serial oracle on the union grid: y = A x with x(global) = global id.
+  ProblemParams serial_pp;
+  serial_pp.nx = static_cast<local_index_t>(pp.nx * pgrid.px());
+  serial_pp.ny = static_cast<local_index_t>(pp.ny * pgrid.py());
+  serial_pp.nz = static_cast<local_index_t>(pp.nz * pgrid.pz());
+  const Problem oracle = generate_problem(ProcessGrid(1, 1, 1), 0, serial_pp);
+  AlignedVector<double> x_g(static_cast<std::size_t>(oracle.a.num_rows));
+  for (std::size_t i = 0; i < x_g.size(); ++i) {
+    x_g[i] = 0.01 * static_cast<double>(i) - 3.0;
+  }
+  AlignedVector<double> y_g(x_g.size(), 0.0);
+  csr_spmv(oracle.a, std::span<const double>(x_g.data(), x_g.size()),
+           std::span<double>(y_g.data(), y_g.size()));
+
+  const OptLevel opt_level = opt;
+  ThreadCommWorld::execute(p, [&](Comm& comm) {
+    const Problem prob = generate_problem(pgrid, comm.rank(), pp);
+    const OperatorStructure s = build_structure(prob, 42);
+    DistOperator<double> op(prob.a, &s, opt_level, /*tag=*/7);
+    AlignedVector<double> x(static_cast<std::size_t>(op.vec_len()), 0.0);
+    for (local_index_t k = 0; k < prob.box.nz; ++k) {
+      for (local_index_t j = 0; j < prob.box.ny; ++j) {
+        for (local_index_t i = 0; i < prob.box.nx; ++i) {
+          const global_index_t g = prob.box.global_id(
+              prob.box.ox + i, prob.box.oy + j, prob.box.oz + k);
+          x[static_cast<std::size_t>(prob.box.local_id(i, j, k))] =
+              0.01 * static_cast<double>(g) - 3.0;
+        }
+      }
+    }
+    AlignedVector<double> y(static_cast<std::size_t>(op.num_owned()), 0.0);
+    op.spmv(comm, std::span<double>(x.data(), x.size()),
+            std::span<double>(y.data(), y.size()));
+    for (local_index_t k = 0; k < prob.box.nz; ++k) {
+      for (local_index_t j = 0; j < prob.box.ny; ++j) {
+        for (local_index_t i = 0; i < prob.box.nx; ++i) {
+          const global_index_t g = prob.box.global_id(
+              prob.box.ox + i, prob.box.oy + j, prob.box.oz + k);
+          ASSERT_NEAR(y[static_cast<std::size_t>(prob.box.local_id(i, j, k))],
+                      y_g[static_cast<std::size_t>(g)], 1e-11)
+              << "rank " << comm.rank() << " point " << g;
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DistSpmv,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(OptLevel::Reference,
+                                         OptLevel::Optimized)));
+
+TEST(DistOperator, ReferenceAndOptimizedSpmvAgree) {
+  ThreadCommWorld::execute(4, [](Comm& comm) {
+    const ProcessGrid pgrid = ProcessGrid::create(4);
+    ProblemParams pp;
+    pp.nx = pp.ny = pp.nz = 4;
+    const Problem prob = generate_problem(pgrid, comm.rank(), pp);
+    const OperatorStructure s = build_structure(prob, 42);
+    DistOperator<double> op_ref(prob.a, &s, OptLevel::Reference, 10);
+    DistOperator<double> op_opt(prob.a, &s, OptLevel::Optimized, 20);
+    AlignedVector<double> x(static_cast<std::size_t>(op_ref.vec_len()));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::sin(0.1 * static_cast<double>(i) + comm.rank());
+    }
+    AlignedVector<double> x2 = x;
+    AlignedVector<double> y1(static_cast<std::size_t>(op_ref.num_owned()), 0);
+    AlignedVector<double> y2(y1.size(), 0);
+    op_ref.spmv(comm, std::span<double>(x.data(), x.size()),
+                std::span<double>(y1.data(), y1.size()));
+    op_opt.spmv(comm, std::span<double>(x2.data(), x2.size()),
+                std::span<double>(y2.data(), y2.size()));
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+      ASSERT_NEAR(y1[i], y2[i], 1e-12);
+    }
+  });
+}
+
+TEST(DistOperator, RestrictResidualPathsAgree) {
+  ThreadCommWorld::execute(8, [](Comm& comm) {
+    const ProcessGrid pgrid = ProcessGrid::create(8);
+    ProblemParams pp;
+    pp.nx = pp.ny = pp.nz = 8;
+    const Problem fine = generate_problem(pgrid, comm.rank(), pp);
+    const CoarseLevel cl = coarsen(fine);
+    const OperatorStructure s = build_structure(fine, 42);
+    DistOperator<double> op_ref(fine.a, &s, OptLevel::Reference, 10);
+    DistOperator<double> op_opt(fine.a, &s, OptLevel::Optimized, 20);
+
+    AlignedVector<double> z(static_cast<std::size_t>(op_ref.vec_len()));
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = std::cos(0.05 * static_cast<double>(i) - comm.rank());
+    }
+    AlignedVector<double> z2 = z;
+    AlignedVector<double> rc1(cl.c2f.size(), 0.0), rc2(cl.c2f.size(), 0.0);
+    std::int64_t nnz_sel = 0;
+    for (const local_index_t fr : cl.c2f) {
+      nnz_sel += fine.a.row_ptr[fr + 1] - fine.a.row_ptr[fr];
+    }
+    op_ref.restrict_residual(
+        comm, std::span<const double>(fine.b.data(), fine.b.size()),
+        std::span<double>(z.data(), z.size()),
+        std::span<const local_index_t>(cl.c2f.data(), cl.c2f.size()), nnz_sel,
+        std::span<double>(rc1.data(), rc1.size()));
+    op_opt.restrict_residual(
+        comm, std::span<const double>(fine.b.data(), fine.b.size()),
+        std::span<double>(z2.data(), z2.size()),
+        std::span<const local_index_t>(cl.c2f.data(), cl.c2f.size()), nnz_sel,
+        std::span<double>(rc2.data(), rc2.size()));
+    for (std::size_t i = 0; i < rc1.size(); ++i) {
+      ASSERT_NEAR(rc1[i], rc2[i], 1e-12);
+    }
+  });
+}
+
+TEST(DistOperator, GsForwardReducesResidualBothPaths) {
+  for (const OptLevel opt : {OptLevel::Reference, OptLevel::Optimized}) {
+    ThreadCommWorld::execute(2, [opt](Comm& comm) {
+      const ProcessGrid pgrid = ProcessGrid::create(2);
+      ProblemParams pp;
+      pp.nx = pp.ny = pp.nz = 4;
+      const Problem prob = generate_problem(pgrid, comm.rank(), pp);
+      const OperatorStructure s = build_structure(prob, 42);
+      DistOperator<double> op(prob.a, &s, opt, 30);
+      AlignedVector<double> z(static_cast<std::size_t>(op.vec_len()), 0.0);
+      AlignedVector<double> r(static_cast<std::size_t>(op.num_owned()), 0.0);
+
+      const std::span<const double> b(prob.b.data(), prob.b.size());
+      op.residual(comm, b, std::span<double>(z.data(), z.size()),
+                  std::span<double>(r.data(), r.size()));
+      const double before =
+          nrm2<double>(comm, std::span<const double>(r.data(), r.size()));
+      for (int sweep = 0; sweep < 3; ++sweep) {
+        op.gs_forward(comm, b, std::span<double>(z.data(), z.size()));
+      }
+      op.residual(comm, b, std::span<double>(z.data(), z.size()),
+                  std::span<double>(r.data(), r.size()));
+      const double after =
+          nrm2<double>(comm, std::span<const double>(r.data(), r.size()));
+      EXPECT_LT(after, 0.5 * before);
+    });
+  }
+}
+
+TEST(DistOperator, OverlapEventSemanticsSendOldValues) {
+  // The §3.2.3 ordering: the interior GS kernel of the first color runs
+  // while the halo carries the PRE-SWEEP boundary values. We verify by
+  // checking the optimized distributed sweep equals an oracle that freezes
+  // halo values first and then smooths with the same processing order.
+  ThreadCommWorld::execute(2, [](Comm& comm) {
+    const ProcessGrid pgrid = ProcessGrid::create(2);
+    ProblemParams pp;
+    pp.nx = pp.ny = pp.nz = 4;
+    const Problem prob = generate_problem(pgrid, comm.rank(), pp);
+    const OperatorStructure s = build_structure(prob, 42);
+    DistOperator<double> op(prob.a, &s, OptLevel::Optimized, 40);
+
+    AlignedVector<double> z(static_cast<std::size_t>(op.vec_len()), 0.0);
+    for (local_index_t i = 0; i < op.num_owned(); ++i) {
+      z[static_cast<std::size_t>(i)] = 0.1 * i + comm.rank();
+    }
+    AlignedVector<double> z_oracle = z;
+
+    // Oracle: blocking exchange of OLD values, then identical sweep order.
+    {
+      HaloExchange<double> hx(&s.halo, /*tag=*/77);
+      hx.exchange(comm, std::span<double>(z_oracle.data(), z_oracle.size()));
+      const std::span<const double> b(prob.b.data(), prob.b.size());
+      gs_sweep_rows(prob.a, s.colors_interior.group(0), b,
+                    std::span<double>(z_oracle.data(), z_oracle.size()));
+      gs_sweep_rows(prob.a, s.colors_boundary.group(0), b,
+                    std::span<double>(z_oracle.data(), z_oracle.size()));
+      for (int c = 1; c < s.colors.num_groups(); ++c) {
+        gs_sweep_rows(prob.a, s.colors_interior.group(c), b,
+                      std::span<double>(z_oracle.data(), z_oracle.size()));
+        gs_sweep_rows(prob.a, s.colors_boundary.group(c), b,
+                      std::span<double>(z_oracle.data(), z_oracle.size()));
+      }
+    }
+    op.gs_forward(comm, std::span<const double>(prob.b.data(), prob.b.size()),
+                  std::span<double>(z.data(), z.size()));
+    for (local_index_t i = 0; i < op.num_owned(); ++i) {
+      ASSERT_NEAR(z[static_cast<std::size_t>(i)],
+                  z_oracle[static_cast<std::size_t>(i)], 1e-12)
+          << "row " << i;
+    }
+  });
+}
+
+TEST(DistOperator, MotifAccountingIsPathIndependent) {
+  // Reference and optimized paths must charge identical model FLOPs.
+  const ProblemParams pp{.nx = 4, .ny = 4, .nz = 4, .gamma = 0.0};
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const OperatorStructure s = build_structure(prob, 42);
+  SelfComm comm;
+  flop_count_t flops[2];
+  int idx = 0;
+  for (const OptLevel opt : {OptLevel::Reference, OptLevel::Optimized}) {
+    DistOperator<double> op(prob.a, &s, opt, 50);
+    MotifStats stats;
+    op.set_stats(&stats);
+    AlignedVector<double> x(static_cast<std::size_t>(op.vec_len()), 1.0);
+    AlignedVector<double> y(static_cast<std::size_t>(op.num_owned()), 0.0);
+    op.spmv(comm, std::span<double>(x.data(), x.size()),
+            std::span<double>(y.data(), y.size()));
+    op.gs_forward(comm, std::span<const double>(prob.b.data(), prob.b.size()),
+                  std::span<double>(x.data(), x.size()));
+    flops[idx++] = stats.total_flops();
+  }
+  EXPECT_EQ(flops[0], flops[1]);
+}
+
+TEST(DistOperator, TraceShowsOverlapOnOptimizedPath) {
+  TraceRecorder trace;
+  ThreadCommWorld::execute(2, [&trace](Comm& comm) {
+    const ProcessGrid pgrid = ProcessGrid::create(2);
+    ProblemParams pp;
+    pp.nx = pp.ny = pp.nz = 8;
+    const Problem prob = generate_problem(pgrid, comm.rank(), pp);
+    const OperatorStructure s = build_structure(prob, 42);
+    DistOperator<double> op(prob.a, &s, OptLevel::Optimized, 60);
+    op.set_event_sink(&trace);
+    AlignedVector<double> z(static_cast<std::size_t>(op.vec_len()), 1.0);
+    for (int sweep = 0; sweep < 5; ++sweep) {
+      op.gs_forward(comm,
+                    std::span<const double>(prob.b.data(), prob.b.size()),
+                    std::span<double>(z.data(), z.size()));
+    }
+  });
+  // Both lanes must have events; the compute lane must include the interior
+  // kernel that runs between begin() and finish().
+  bool saw_interior = false;
+  for (const auto& e : trace.events_for(0)) {
+    if (e.name == "GS-int-c0") {
+      saw_interior = true;
+    }
+  }
+  EXPECT_TRUE(saw_interior);
+  EXPECT_GT(trace.lane_busy_seconds(0, "halo"), 0.0);
+  EXPECT_GT(trace.lane_busy_seconds(0, "compute"), 0.0);
+}
+
+TEST(FlopModel, HandCountsOnTinyCases) {
+  EXPECT_EQ(spmv_flops(10), 20u);
+  EXPECT_EQ(gs_sweep_flops(10, 4), 24u);
+  EXPECT_EQ(residual_flops(10, 4), 24u);
+  EXPECT_EQ(fused_restrict_flops(27, 1), 55u);
+  EXPECT_EQ(prolong_flops(8), 8u);
+  EXPECT_EQ(dot_flops(100), 200u);
+  EXPECT_EQ(waxpby_flops(100), 300u);
+  EXPECT_EQ(cgs2_flops(100, 3), 2400u);
+}
+
+}  // namespace
+}  // namespace hpgmx

@@ -1,0 +1,214 @@
+// Gauss–Seidel smoother properties: the reference (level-scheduled) sweep
+// exactly matches sequential lexicographic GS; the multicolor sweep matches
+// sequential GS in its color ordering; both reduce the residual; fp32
+// behaves like fp64 to single precision.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "blas/vector_ops.hpp"
+#include "coloring/coloring.hpp"
+#include "comm/comm.hpp"
+#include "grid/problem.hpp"
+#include "sparse/gauss_seidel.hpp"
+#include "sparse/kernels.hpp"
+
+namespace hpgmx {
+namespace {
+
+Problem stencil_problem(local_index_t n) {
+  ProblemParams p;
+  p.nx = p.ny = p.nz = n;
+  return generate_problem(ProcessGrid(1, 1, 1), 0, p);
+}
+
+AlignedVector<double> random_vector(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  AlignedVector<double> v(n);
+  for (auto& x : v) {
+    x = dist(rng);
+  }
+  return v;
+}
+
+double residual_norm(const CsrMatrix<double>& a,
+                     std::span<const double> b, std::span<const double> z) {
+  AlignedVector<double> r(static_cast<std::size_t>(a.num_rows));
+  csr_residual(a, b, z, std::span<double>(r.data(), r.size()));
+  SelfComm comm;
+  return nrm2<double>(comm, std::span<const double>(r.data(), r.size()));
+}
+
+TEST(GsReference, MatchesSequentialLexicographic) {
+  const Problem prob = stencil_problem(6);
+  const RowPartition levels = build_lower_level_schedule(prob.a);
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 1);
+
+  AlignedVector<double> z_seq(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  AlignedVector<double> z_ref(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  AlignedVector<double> t(static_cast<std::size_t>(prob.a.num_rows), 0.0);
+
+  gs_sweep_sequential(prob.a, std::span<const double>(b.data(), b.size()),
+                      std::span<double>(z_seq.data(), z_seq.size()));
+  gs_sweep_reference(prob.a, levels,
+                     std::span<const double>(b.data(), b.size()),
+                     std::span<double>(z_ref.data(), z_ref.size()),
+                     std::span<double>(t.data(), t.size()));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(prob.a.num_rows); ++i) {
+    ASSERT_NEAR(z_ref[i], z_seq[i], 1e-13) << "row " << i;
+  }
+}
+
+TEST(GsColored, MatchesSequentialGsInColorOrder) {
+  const Problem prob = stencil_problem(6);
+  const auto colors = greedy_color(prob.a);
+  const RowPartition part = color_partition(colors);
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 2);
+
+  AlignedVector<double> z_col(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  gs_sweep_colored(prob.a, part, std::span<const double>(b.data(), b.size()),
+                   std::span<double>(z_col.data(), z_col.size()));
+
+  // Oracle: process rows one at a time in the same (color-major) order.
+  AlignedVector<double> z_seq(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  for (int c = 0; c < part.num_groups(); ++c) {
+    for (const local_index_t row : part.group(c)) {
+      double acc = b[static_cast<std::size_t>(row)];
+      const auto cols = prob.a.row_cols(row);
+      const auto vals = prob.a.row_vals(row);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] != row) {
+          acc -= vals[k] * z_seq[static_cast<std::size_t>(cols[k])];
+        }
+      }
+      z_seq[static_cast<std::size_t>(row)] =
+          acc / prob.a.diag[static_cast<std::size_t>(row)];
+    }
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(prob.a.num_rows); ++i) {
+    ASSERT_NEAR(z_col[i], z_seq[i], 1e-13);
+  }
+}
+
+TEST(GsColoredEll, MatchesCsrVariant) {
+  const Problem prob = stencil_problem(6);
+  const auto colors = jpl_color(prob.a, 42);
+  const RowPartition part = color_partition(colors);
+  const EllMatrix<double> e = ell_from_csr(prob.a);
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 3);
+
+  AlignedVector<double> z_csr(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  AlignedVector<double> z_ell(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  gs_sweep_colored(prob.a, part, std::span<const double>(b.data(), b.size()),
+                   std::span<double>(z_csr.data(), z_csr.size()));
+  gs_sweep_colored_ell(e, part, std::span<const double>(b.data(), b.size()),
+                       std::span<double>(z_ell.data(), z_ell.size()));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(prob.a.num_rows); ++i) {
+    ASSERT_NEAR(z_csr[i], z_ell[i], 1e-13);
+  }
+}
+
+class GsSweepCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(GsSweepCounts, ResidualDecreasesMonotonically) {
+  const Problem prob = stencil_problem(6);
+  const auto colors = jpl_color(prob.a, 42);
+  const RowPartition part = color_partition(colors);
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 4);
+  AlignedVector<double> z(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+
+  double prev = residual_norm(prob.a, std::span<const double>(b.data(), b.size()),
+                              std::span<const double>(z.data(), z.size()));
+  const int sweeps = GetParam();
+  for (int s = 0; s < sweeps; ++s) {
+    gs_sweep_colored(prob.a, part, std::span<const double>(b.data(), b.size()),
+                     std::span<double>(z.data(), z.size()));
+    const double now =
+        residual_norm(prob.a, std::span<const double>(b.data(), b.size()),
+                      std::span<const double>(z.data(), z.size()));
+    ASSERT_LT(now, prev) << "sweep " << s;
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, GsSweepCounts, ::testing::Values(2, 5, 10));
+
+TEST(GsBackward, ReducesResidualAndDiffersFromForward) {
+  const Problem prob = stencil_problem(4);
+  const auto colors = greedy_color(prob.a);
+  const RowPartition part = color_partition(colors);
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 5);
+
+  AlignedVector<double> zf(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  AlignedVector<double> zb(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  gs_sweep_colored(prob.a, part, std::span<const double>(b.data(), b.size()),
+                   std::span<double>(zf.data(), zf.size()));
+  gs_sweep_colored_backward(prob.a, part,
+                            std::span<const double>(b.data(), b.size()),
+                            std::span<double>(zb.data(), zb.size()));
+  const double rb =
+      residual_norm(prob.a, std::span<const double>(b.data(), b.size()),
+                    std::span<const double>(zb.data(), zb.size()));
+  SelfComm comm;
+  const double r0 =
+      nrm2<double>(comm, std::span<const double>(b.data(), b.size()));
+  EXPECT_LT(rb, r0);
+  // Forward and backward orders must differ somewhere (they're different
+  // triangular splits).
+  bool differs = false;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(prob.a.num_rows); ++i) {
+    if (std::abs(zf[i] - zb[i]) > 1e-12) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GsFloat, TracksDoubleWithinSinglePrecision) {
+  const Problem prob = stencil_problem(4);
+  const auto colors = greedy_color(prob.a);
+  const RowPartition part = color_partition(colors);
+  const CsrMatrix<float> af = prob.a.convert<float>();
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 6);
+  AlignedVector<float> bf(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    bf[i] = static_cast<float>(b[i]);
+  }
+
+  AlignedVector<double> zd(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  AlignedVector<float> zf(static_cast<std::size_t>(prob.a.num_cols), 0.0f);
+  for (int s = 0; s < 3; ++s) {
+    gs_sweep_colored(prob.a, part, std::span<const double>(b.data(), b.size()),
+                     std::span<double>(zd.data(), zd.size()));
+    gs_sweep_colored(af, part, std::span<const float>(bf.data(), bf.size()),
+                     std::span<float>(zf.data(), zf.size()));
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(prob.a.num_rows); ++i) {
+    ASSERT_NEAR(zf[i], zd[i], 1e-4 * (1.0 + std::abs(zd[i])));
+  }
+}
+
+TEST(GsRows, SubsetSweepEqualsFullSweepWhenCoveringColor) {
+  const Problem prob = stencil_problem(4);
+  const auto colors = greedy_color(prob.a);
+  const RowPartition part = color_partition(colors);
+  const auto b = random_vector(static_cast<std::size_t>(prob.a.num_rows), 7);
+
+  AlignedVector<double> z1(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  AlignedVector<double> z2(static_cast<std::size_t>(prob.a.num_cols), 0.0);
+  gs_sweep_colored(prob.a, part, std::span<const double>(b.data(), b.size()),
+                   std::span<double>(z1.data(), z1.size()));
+  for (int c = 0; c < part.num_groups(); ++c) {
+    gs_sweep_rows(prob.a, part.group(c),
+                  std::span<const double>(b.data(), b.size()),
+                  std::span<double>(z2.data(), z2.size()));
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(prob.a.num_rows); ++i) {
+    ASSERT_NEAR(z1[i], z2[i], 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace hpgmx

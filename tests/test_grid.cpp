@@ -1,0 +1,314 @@
+// Tests for src/grid: process-grid factorization, 27-point problem
+// generation (structure, values, rhs, halo pattern symmetry), coarsening.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "comm/thread_comm.hpp"
+#include "grid/problem.hpp"
+#include "grid/process_grid.hpp"
+
+namespace hpgmx {
+namespace {
+
+TEST(ProcessGrid, FactorizationIsCubicAndComplete) {
+  const struct {
+    int size, px, py, pz;
+  } cases[] = {
+      {1, 1, 1, 1}, {2, 2, 1, 1}, {4, 2, 2, 1},
+      {8, 2, 2, 2}, {27, 3, 3, 3}, {64, 4, 4, 4},
+  };
+  for (const auto& c : cases) {
+    const ProcessGrid g = ProcessGrid::create(c.size);
+    EXPECT_EQ(g.size(), c.size);
+    EXPECT_EQ(g.px() * g.py() * g.pz(), c.size);
+    EXPECT_EQ(g.px(), c.px) << "size " << c.size;
+    EXPECT_EQ(g.py(), c.py) << "size " << c.size;
+    EXPECT_EQ(g.pz(), c.pz) << "size " << c.size;
+  }
+}
+
+TEST(ProcessGrid, CoordsRoundTrip) {
+  const ProcessGrid g = ProcessGrid::create(24);
+  for (int r = 0; r < g.size(); ++r) {
+    const ProcCoords c = g.coords_of(r);
+    EXPECT_TRUE(g.contains(c));
+    EXPECT_EQ(g.rank_of(c), r);
+  }
+  EXPECT_FALSE(g.contains({-1, 0, 0}));
+  EXPECT_FALSE(g.contains({g.px(), 0, 0}));
+}
+
+TEST(Problem, SingleRankStructure) {
+  ProblemParams p;
+  p.nx = p.ny = p.nz = 4;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  EXPECT_EQ(prob.a.num_rows, 64);
+  EXPECT_EQ(prob.halo.n_halo, 0);
+  EXPECT_TRUE(prob.halo.neighbors.empty());
+  // Interior point: 27 entries; corner: 8; edge: 12; face: 18.
+  const local_index_t corner = prob.box.local_id(0, 0, 0);
+  const local_index_t interior = prob.box.local_id(1, 1, 1);
+  EXPECT_EQ(prob.a.row_ptr[corner + 1] - prob.a.row_ptr[corner], 8);
+  EXPECT_EQ(prob.a.row_ptr[interior + 1] - prob.a.row_ptr[interior], 27);
+}
+
+TEST(Problem, MatrixValuesMatchBenchmarkDefinition) {
+  ProblemParams p;
+  p.nx = p.ny = p.nz = 4;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  for (local_index_t r = 0; r < prob.a.num_rows; ++r) {
+    const auto cols = prob.a.row_cols(r);
+    const auto vals = prob.a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) {
+        EXPECT_DOUBLE_EQ(vals[k], 26.0);
+      } else {
+        EXPECT_DOUBLE_EQ(vals[k], -1.0);
+      }
+    }
+  }
+}
+
+TEST(Problem, WeakDiagonalDominance) {
+  ProblemParams p;
+  p.nx = 6;
+  p.ny = 4;
+  p.nz = 4;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  for (local_index_t r = 0; r < prob.a.num_rows; ++r) {
+    const auto cols = prob.a.row_cols(r);
+    const auto vals = prob.a.row_vals(r);
+    double offdiag = 0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != r) {
+        offdiag += std::abs(vals[k]);
+      }
+    }
+    EXPECT_LE(offdiag, 26.0);
+  }
+}
+
+TEST(Problem, RhsIsRowSum) {
+  // b = A·1, so every interior row gets 26 - 26 = 0 and the global corner
+  // rows get 26 - 7 = 19.
+  ProblemParams p;
+  p.nx = p.ny = p.nz = 4;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  const local_index_t interior = prob.box.local_id(1, 1, 1);
+  const local_index_t corner = prob.box.local_id(0, 0, 0);
+  EXPECT_DOUBLE_EQ(prob.b[static_cast<std::size_t>(interior)], 0.0);
+  EXPECT_DOUBLE_EQ(prob.b[static_cast<std::size_t>(corner)], 26.0 - 7.0);
+}
+
+TEST(Problem, NonsymmetricGammaPreservesDominance) {
+  ProblemParams p;
+  p.nx = p.ny = p.nz = 4;
+  p.gamma = 0.3;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  const local_index_t interior = prob.box.local_id(1, 1, 1);
+  const auto cols = prob.a.row_cols(interior);
+  const auto vals = prob.a.row_vals(interior);
+  double offdiag_sum_abs = 0;
+  int above = 0, below = 0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == interior) {
+      continue;
+    }
+    offdiag_sum_abs += std::abs(vals[k]);
+    if (vals[k] < -1.0) {
+      ++above;  // -1 - gamma: column with greater global id
+    } else {
+      ++below;
+    }
+  }
+  EXPECT_EQ(above, 13);
+  EXPECT_EQ(below, 13);
+  EXPECT_NEAR(offdiag_sum_abs, 26.0, 1e-12);
+}
+
+TEST(Problem, GammaZeroIsSymmetric) {
+  ProblemParams p;
+  p.nx = p.ny = p.nz = 4;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  // Check a_ij == a_ji for all owned pairs.
+  std::map<std::pair<local_index_t, local_index_t>, double> entries;
+  for (local_index_t r = 0; r < prob.a.num_rows; ++r) {
+    const auto cols = prob.a.row_cols(r);
+    const auto vals = prob.a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      entries[{r, cols[k]}] = vals[k];
+    }
+  }
+  for (const auto& [rc, v] : entries) {
+    const auto it = entries.find({rc.second, rc.first});
+    ASSERT_NE(it, entries.end());
+    EXPECT_DOUBLE_EQ(it->second, v);
+  }
+}
+
+// Distributed generation: the assembled global matrix must be identical to
+// a single-rank generation of the same global grid.
+class DistributedGen : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedGen, GlobalAssemblyMatchesSerial) {
+  const int p = GetParam();
+  const ProcessGrid pgrid = ProcessGrid::create(p);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 4;
+
+  // Serial oracle over the union grid.
+  ProblemParams serial_pp;
+  serial_pp.nx = static_cast<local_index_t>(pp.nx * pgrid.px());
+  serial_pp.ny = static_cast<local_index_t>(pp.ny * pgrid.py());
+  serial_pp.nz = static_cast<local_index_t>(pp.nz * pgrid.pz());
+  const Problem oracle = generate_problem(ProcessGrid(1, 1, 1), 0, serial_pp);
+
+  std::vector<Problem> parts(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    parts[static_cast<std::size_t>(r)] = generate_problem(pgrid, r, pp);
+  }
+
+  // Rebuild a global (row -> col -> value) map from the distributed parts.
+  std::map<global_index_t, std::map<global_index_t, double>> dist_entries;
+  for (int r = 0; r < p; ++r) {
+    const Problem& part = parts[static_cast<std::size_t>(r)];
+    // Local id -> global id for owned + halo columns.
+    std::vector<global_index_t> l2g(
+        static_cast<std::size_t>(part.a.num_cols), -1);
+    for (local_index_t k = 0; k < part.box.nz; ++k) {
+      for (local_index_t j = 0; j < part.box.ny; ++j) {
+        for (local_index_t i = 0; i < part.box.nx; ++i) {
+          l2g[static_cast<std::size_t>(part.box.local_id(i, j, k))] =
+              part.box.global_id(part.box.ox + i, part.box.oy + j,
+                                 part.box.oz + k);
+        }
+      }
+    }
+    // Halo columns: reconstruct from each neighbor's send list (the sender
+    // enumerates shared points in the same global order).
+    for (const auto& nb : part.halo.neighbors) {
+      const Problem& owner = parts[static_cast<std::size_t>(nb.rank)];
+      // The owner's send list toward `r`:
+      const HaloNeighbor* back = nullptr;
+      for (const auto& onb : owner.halo.neighbors) {
+        if (onb.rank == part.rank) {
+          back = &onb;
+        }
+      }
+      ASSERT_NE(back, nullptr);
+      ASSERT_EQ(static_cast<local_index_t>(back->send_indices.size()),
+                nb.recv_count);
+      for (local_index_t k = 0; k < nb.recv_count; ++k) {
+        const local_index_t owner_local =
+            back->send_indices[static_cast<std::size_t>(k)];
+        const local_index_t oi = owner_local % owner.box.nx;
+        const local_index_t oj = (owner_local / owner.box.nx) % owner.box.ny;
+        const local_index_t ok =
+            owner_local / (owner.box.nx * owner.box.ny);
+        l2g[static_cast<std::size_t>(part.halo.n_owned + nb.recv_offset + k)] =
+            owner.box.global_id(owner.box.ox + oi, owner.box.oy + oj,
+                                owner.box.oz + ok);
+      }
+    }
+    for (local_index_t row = 0; row < part.a.num_rows; ++row) {
+      const auto cols = part.a.row_cols(row);
+      const auto vals = part.a.row_vals(row);
+      const global_index_t grow = l2g[static_cast<std::size_t>(row)];
+      for (std::size_t c = 0; c < cols.size(); ++c) {
+        const global_index_t gcol = l2g[static_cast<std::size_t>(cols[c])];
+        ASSERT_GE(gcol, 0) << "unmapped halo column";
+        dist_entries[grow][gcol] = vals[c];
+      }
+    }
+  }
+
+  // Compare against the oracle.
+  std::int64_t oracle_nnz = 0;
+  for (local_index_t r = 0; r < oracle.a.num_rows; ++r) {
+    const auto cols = oracle.a.row_cols(r);
+    const auto vals = oracle.a.row_vals(r);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      ++oracle_nnz;
+      const auto row_it = dist_entries.find(r);
+      ASSERT_NE(row_it, dist_entries.end());
+      const auto col_it = row_it->second.find(cols[c]);
+      ASSERT_NE(col_it, row_it->second.end())
+          << "missing entry (" << r << "," << cols[c] << ")";
+      EXPECT_DOUBLE_EQ(col_it->second, vals[c]);
+    }
+  }
+  std::int64_t dist_nnz = 0;
+  for (const auto& [row, colmap] : dist_entries) {
+    dist_nnz += static_cast<std::int64_t>(colmap.size());
+  }
+  EXPECT_EQ(dist_nnz, oracle_nnz);
+}
+
+TEST_P(DistributedGen, HaloPatternIsPairwiseConsistent) {
+  const int p = GetParam();
+  const ProcessGrid pgrid = ProcessGrid::create(p);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 4;
+  std::vector<Problem> parts(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    parts[static_cast<std::size_t>(r)] = generate_problem(pgrid, r, pp);
+  }
+  for (int r = 0; r < p; ++r) {
+    for (const auto& nb : parts[static_cast<std::size_t>(r)].halo.neighbors) {
+      // Neighbor must list me, with send count == my recv count and vice
+      // versa.
+      const auto& other = parts[static_cast<std::size_t>(nb.rank)];
+      const HaloNeighbor* back = nullptr;
+      for (const auto& onb : other.halo.neighbors) {
+        if (onb.rank == r) {
+          back = &onb;
+        }
+      }
+      ASSERT_NE(back, nullptr) << "halo pattern not symmetric";
+      EXPECT_EQ(static_cast<local_index_t>(back->send_indices.size()),
+                nb.recv_count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, DistributedGen, ::testing::Values(2, 4, 8));
+
+TEST(Coarsen, DimsAndInjectionMap) {
+  ProblemParams p;
+  p.nx = p.ny = p.nz = 8;
+  const Problem fine = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  const CoarseLevel cl = coarsen(fine);
+  EXPECT_EQ(cl.problem.box.nx, 4);
+  EXPECT_EQ(cl.problem.a.num_rows, 64);
+  ASSERT_EQ(cl.c2f.size(), 64u);
+  // Coarse (i,j,k) injects from fine (2i,2j,2k).
+  for (local_index_t k = 0; k < 4; ++k) {
+    for (local_index_t j = 0; j < 4; ++j) {
+      for (local_index_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(cl.c2f[static_cast<std::size_t>(
+                      cl.problem.box.local_id(i, j, k))],
+                  fine.box.local_id(2 * i, 2 * j, 2 * k));
+      }
+    }
+  }
+}
+
+TEST(Coarsen, OddDimsThrow) {
+  ProblemParams p;
+  p.nx = 5;
+  p.ny = 4;
+  p.nz = 4;
+  const Problem fine = generate_problem(ProcessGrid(1, 1, 1), 0, p);
+  EXPECT_THROW(coarsen(fine), Error);
+}
+
+TEST(Problem, TooSmallGridThrows) {
+  ProblemParams p;
+  p.nx = 1;
+  EXPECT_THROW(generate_problem(ProcessGrid(1, 1, 1), 0, p), Error);
+}
+
+}  // namespace
+}  // namespace hpgmx

@@ -1,0 +1,325 @@
+// End-to-end property sweeps: the solver stack must converge and preserve
+// its invariants across the full configuration space — restart lengths,
+// multigrid depths, code paths, nonsymmetry, coloring modes, rank counts —
+// plus the matrix-free stencil operator extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/thread_comm.hpp"
+#include "core/benchmark.hpp"
+#include "core/gmres.hpp"
+#include "core/gmres_ir.hpp"
+#include "core/multigrid.hpp"
+#include "core/stencil_operator.hpp"
+#include "grid/problem.hpp"
+
+namespace hpgmx {
+namespace {
+
+ProblemHierarchy serial_hierarchy(local_index_t n, const BenchParams& p) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = n;
+  pp.gamma = p.gamma;
+  return build_hierarchy(generate_problem(ProcessGrid(1, 1, 1), 0, pp),
+                         p.mg_levels, p.coloring_seed);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep: restart length × multigrid depth. GMRES must converge in every
+// configuration; deeper hierarchies and longer restarts must not increase
+// the iteration count (for this SPD-like problem).
+// ---------------------------------------------------------------------------
+
+class RestartByLevels
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RestartByLevels, GmresConverges) {
+  const auto [restart, levels] = GetParam();
+  BenchParams params;
+  params.mg_levels = levels;
+  params.restart_length = restart;
+  const ProblemHierarchy h = serial_hierarchy(16, params);
+  EXPECT_EQ(static_cast<int>(h.levels.size()), levels);
+
+  SelfComm comm;
+  Multigrid<double> mg(h, params);
+  SolverOptions opts;
+  opts.restart = restart;
+  opts.max_iters = 2000;
+  opts.tol = 1e-9;
+  Gmres<double> solver(&mg.level_op(0), &mg, opts);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res = solver.solve(
+      comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+      std::span<double>(x.data(), x.size()));
+  EXPECT_TRUE(res.converged)
+      << "restart=" << restart << " levels=" << levels
+      << " iters=" << res.iterations;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RestartByLevels,
+                         ::testing::Combine(::testing::Values(5, 10, 30),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+// ---------------------------------------------------------------------------
+// Sweep: OptLevel × ColoringMode. Both code paths with all three coloring
+// algorithms must drive GMRES-IR to double accuracy.
+// ---------------------------------------------------------------------------
+
+class PathByColoring
+    : public ::testing::TestWithParam<std::tuple<OptLevel, ColoringMode>> {};
+
+TEST_P(PathByColoring, GmresIrReachesTolerance) {
+  const auto [opt, coloring] = GetParam();
+  BenchParams params;
+  params.opt = opt;
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 16;
+  Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+
+  // Build a hierarchy with the requested coloring mode.
+  ProblemHierarchy h;
+  h.levels.push_back(std::move(prob));
+  for (int l = 0; l < params.mg_levels - 1; ++l) {
+    CoarseLevel cl = coarsen(h.levels.back());
+    std::int64_t nnz_sel = 0;
+    for (const local_index_t fr : cl.c2f) {
+      nnz_sel += h.levels.back().a.row_ptr[fr + 1] -
+                 h.levels.back().a.row_ptr[fr];
+    }
+    h.nnz_coarse_rows.push_back(nnz_sel);
+    h.c2f.push_back(std::move(cl.c2f));
+    h.levels.push_back(std::move(cl.problem));
+  }
+  for (const Problem& p : h.levels) {
+    h.structures.push_back(std::make_unique<OperatorStructure>(
+        build_structure(p, params.coloring_seed, coloring)));
+  }
+
+  SelfComm comm;
+  Multigrid<float> mg_f(h, params);
+  DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(), params.opt,
+                           90);
+  SolverOptions opts;
+  opts.max_iters = 1000;
+  opts.tol = 1e-9;
+  GmresIr<float> solver(&a_d, &mg_f.level_op(0), &mg_f, opts);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res = solver.solve(
+      comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+      std::span<double>(x.data(), x.size()));
+  EXPECT_TRUE(res.converged);
+  for (const double v : x) {
+    ASSERT_NEAR(v, 1.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PathByColoring,
+    ::testing::Combine(::testing::Values(OptLevel::Reference,
+                                         OptLevel::Optimized),
+                       ::testing::Values(ColoringMode::Geometric,
+                                         ColoringMode::Jpl,
+                                         ColoringMode::Greedy)));
+
+// ---------------------------------------------------------------------------
+// Sweep: nonsymmetry strength × rank count: the distributed mixed-precision
+// solver must handle the benchmark's nonsymmetric variant at every world
+// size.
+// ---------------------------------------------------------------------------
+
+class GammaByRanks
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GammaByRanks, DistributedGmresIrConverges) {
+  const auto [gamma, ranks] = GetParam();
+  const ProcessGrid pgrid = ProcessGrid::create(ranks);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 8;
+  pp.gamma = gamma;
+  BenchParams params;
+  params.mg_levels = 2;
+  params.gamma = gamma;
+
+  SolverOptions opts;
+  opts.max_iters = 2000;
+  opts.tol = 1e-9;
+  ThreadCommWorld::execute(ranks, [&](Comm& comm) {
+    const ProblemHierarchy h =
+        build_hierarchy(generate_problem(pgrid, comm.rank(), pp),
+                        params.mg_levels, params.coloring_seed);
+    Multigrid<float> mg_f(h, params);
+    DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(), params.opt,
+                             90);
+    GmresIr<float> solver(&a_d, &mg_f.level_op(0), &mg_f, opts);
+    AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+    const SolveResult res = solver.solve(
+        comm,
+        std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+        std::span<double>(x.data(), x.size()));
+    EXPECT_TRUE(res.converged) << "gamma=" << gamma << " ranks=" << ranks;
+    for (const double v : x) {
+      ASSERT_NEAR(v, 1.0, 1e-4);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GammaByRanks,
+                         ::testing::Combine(::testing::Values(0.0, 0.25, 0.5),
+                                            ::testing::Values(1, 2, 8)));
+
+// ---------------------------------------------------------------------------
+// Matrix-free stencil operator (§5 extension).
+// ---------------------------------------------------------------------------
+
+class StencilOp : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilOp, MatchesAssembledMatrixAcrossRanks) {
+  const int ranks = GetParam();
+  const ProcessGrid pgrid = ProcessGrid::create(ranks);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 4;
+  pp.gamma = 0.2;
+  ThreadCommWorld::execute(ranks, [&](Comm& comm) {
+    const Problem prob = generate_problem(pgrid, comm.rank(), pp);
+    const OperatorStructure s = build_structure(prob, 42);
+    DistOperator<double> assembled(prob.a, &s, OptLevel::Optimized, 10);
+    StencilOperator<double> matrix_free(&prob, 20);
+    ASSERT_EQ(matrix_free.num_owned(), assembled.num_owned());
+    ASSERT_EQ(matrix_free.vec_len(), assembled.vec_len());
+
+    AlignedVector<double> x(static_cast<std::size_t>(assembled.vec_len()));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::sin(0.3 * static_cast<double>(i) + comm.rank());
+    }
+    AlignedVector<double> x2 = x;
+    AlignedVector<double> y1(static_cast<std::size_t>(assembled.num_owned()));
+    AlignedVector<double> y2(y1.size());
+    assembled.spmv(comm, std::span<double>(x.data(), x.size()),
+                   std::span<double>(y1.data(), y1.size()));
+    matrix_free.apply(comm, std::span<double>(x2.data(), x2.size()),
+                      std::span<double>(y2.data(), y2.size()));
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+      ASSERT_NEAR(y1[i], y2[i], 1e-12) << "row " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, StencilOp, ::testing::Values(1, 2, 8));
+
+TEST(StencilOp, FloatInstantiationMatchesFloatMatrix) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 6;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const CsrMatrix<float> af = prob.a.convert<float>();
+  StencilOperator<float> op(&prob, 30);
+  AlignedVector<float> x(static_cast<std::size_t>(af.num_cols));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.001f * static_cast<float>(i % 97) - 0.05f;
+  }
+  AlignedVector<float> y1(static_cast<std::size_t>(af.num_rows), 0.0f);
+  AlignedVector<float> y2(y1.size(), 0.0f);
+  csr_spmv(af, std::span<const float>(x.data(), x.size()),
+           std::span<float>(y1.data(), y1.size()));
+  op.apply_local(std::span<const float>(x.data(), x.size()),
+                 std::span<float>(y2.data(), y2.size()));
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    ASSERT_NEAR(y1[i], y2[i], 1e-4f * (1.0f + std::abs(y1[i])));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: two identical runs produce identical iteration counts and
+// residuals (seeded coloring, rank-ordered reductions).
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, RepeatRunsAreBitIdentical) {
+  BenchParams params;
+  params.mg_levels = 2;
+  SolverOptions opts;
+  opts.max_iters = 300;
+  opts.tol = 1e-9;
+  double relres[2];
+  int iters[2];
+  for (int run = 0; run < 2; ++run) {
+    ThreadCommWorld::execute(2, [&](Comm& comm) {
+      const ProcessGrid pgrid = ProcessGrid::create(2);
+      ProblemParams pp;
+      pp.nx = pp.ny = pp.nz = 8;
+      const ProblemHierarchy h =
+          build_hierarchy(generate_problem(pgrid, comm.rank(), pp),
+                          params.mg_levels, params.coloring_seed);
+      Multigrid<double> mg(h, params);
+      Gmres<double> solver(&mg.level_op(0), &mg, opts);
+      AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+      const SolveResult res = solver.solve(
+          comm,
+          std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+          std::span<double>(x.data(), x.size()));
+      if (comm.rank() == 0) {
+        relres[run] = res.relative_residual;
+        iters[run] = res.iterations;
+      }
+    });
+  }
+  EXPECT_EQ(iters[0], iters[1]);
+  EXPECT_EQ(relres[0], relres[1]);  // bit-identical, not just close
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: malformed configurations must fail loudly, not corrupt
+// results.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, MismatchedMessageSizeThrows) {
+  EXPECT_THROW(ThreadCommWorld::execute(2,
+                                        [](Comm& comm) {
+                                          std::vector<double> buf(4, 1.0);
+                                          if (comm.rank() == 0) {
+                                            comm.send(
+                                                1, 9,
+                                                std::span<const double>(
+                                                    buf.data(), 2));
+                                          } else {
+                                            comm.recv(0, 9,
+                                                      std::span<double>(
+                                                          buf.data(), 4));
+                                          }
+                                        }),
+               Error);
+}
+
+TEST(FailureInjection, HierarchyDeeperThanGridStopsCleanly) {
+  // 8^3 can only support 2 coarsenings to 2^3; requesting 6 levels must
+  // truncate, not crash or produce invalid levels.
+  BenchParams params;
+  params.mg_levels = 6;
+  const ProblemHierarchy h = serial_hierarchy(8, params);
+  EXPECT_LE(h.levels.size(), 3u);
+  for (const auto& lvl : h.levels) {
+    EXPECT_GE(lvl.box.nx, 2);
+  }
+}
+
+TEST(FailureInjection, ZeroRhsIsHandled) {
+  BenchParams params;
+  params.mg_levels = 2;
+  const ProblemHierarchy h = serial_hierarchy(8, params);
+  SelfComm comm;
+  Multigrid<double> mg(h, params);
+  SolverOptions opts;
+  Gmres<double> solver(&mg.level_op(0), &mg, opts);
+  AlignedVector<double> zero(h.levels[0].b.size(), 0.0);
+  AlignedVector<double> x(zero.size(), 5.0);  // nonzero guess
+  const SolveResult res =
+      solver.solve(comm, std::span<const double>(zero.data(), zero.size()),
+                   std::span<double>(x.data(), x.size()));
+  EXPECT_TRUE(res.converged);
+  for (const double v : x) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hpgmx

@@ -1,0 +1,198 @@
+// Tests for src/perf: motif stats, trace recorder (overlap math, timeline),
+// roofline arithmetic, machine-model weak-scaling projection, bandwidth
+// probe sanity.
+#include <gtest/gtest.h>
+
+#include "perf/bandwidth.hpp"
+#include "perf/machine_model.hpp"
+#include "perf/motifs.hpp"
+#include "perf/roofline.hpp"
+#include "perf/trace.hpp"
+
+namespace hpgmx {
+namespace {
+
+TEST(MotifStats, AccumulateAndMerge) {
+  MotifStats a;
+  a.add(Motif::GS, 1.0, 100);
+  a.add(Motif::GS, 0.5, 50);
+  a.add(Motif::SpMV, 2.0, 400);
+  EXPECT_DOUBLE_EQ(a.seconds(Motif::GS), 1.5);
+  EXPECT_EQ(a.flops(Motif::GS), 150u);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 3.5);
+  EXPECT_EQ(a.total_flops(), 550u);
+
+  MotifStats b;
+  b.add(Motif::Ortho, 1.0, 1000);
+  b.merge(a);
+  EXPECT_EQ(b.total_flops(), 1550u);
+  EXPECT_DOUBLE_EQ(b.seconds(Motif::GS), 1.5);
+
+  b.reset();
+  EXPECT_EQ(b.total_flops(), 0u);
+}
+
+TEST(MotifStats, GflopsComputation) {
+  MotifStats s;
+  s.add(Motif::SpMV, 2.0, 4'000'000'000ull);
+  EXPECT_DOUBLE_EQ(s.gflops(Motif::SpMV), 2.0);
+  EXPECT_DOUBLE_EQ(s.gflops(Motif::GS), 0.0);  // no time charged
+}
+
+TEST(ScopedMotif, ChargesElapsedTime) {
+  MotifStats s;
+  {
+    ScopedMotif t(&s, Motif::Restrict, 42);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+      sink += i;
+    }
+  }
+  EXPECT_GT(s.seconds(Motif::Restrict), 0.0);
+  EXPECT_EQ(s.flops(Motif::Restrict), 42u);
+}
+
+TEST(ScopedMotif, NullStatsIsSafe) {
+  ScopedMotif t(nullptr, Motif::GS, 1);
+  // must not crash on destruction
+}
+
+TEST(MotifNames, AllDistinct) {
+  for (int i = 0; i < kNumMotifs; ++i) {
+    for (int j = i + 1; j < kNumMotifs; ++j) {
+      EXPECT_NE(motif_name(static_cast<Motif>(i)),
+                motif_name(static_cast<Motif>(j)));
+    }
+  }
+}
+
+TEST(TraceRecorder, RecordsAndFilters) {
+  TraceRecorder rec;
+  rec.record(0, "compute", "gs", 0.0, 1.0);
+  rec.record(1, "compute", "gs", 0.0, 2.0);
+  rec.record(0, "halo", "wait", 0.5, 0.7);
+  EXPECT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.events_for(0).size(), 2u);
+  EXPECT_EQ(rec.events_for(1).size(), 1u);
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, OverlapFractionFullyHidden) {
+  TraceRecorder rec;
+  rec.record(0, "halo", "xfer", 1.0, 2.0);
+  rec.record(0, "compute", "interior", 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(rec.overlap_fraction(0, "halo", "compute"), 1.0);
+}
+
+TEST(TraceRecorder, OverlapFractionPartial) {
+  TraceRecorder rec;
+  rec.record(0, "halo", "xfer", 0.0, 2.0);
+  rec.record(0, "compute", "interior", 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(rec.overlap_fraction(0, "halo", "compute"), 0.5);
+}
+
+TEST(TraceRecorder, OverlapHandlesFragmentedIntervals) {
+  TraceRecorder rec;
+  rec.record(0, "halo", "a", 0.0, 1.0);
+  rec.record(0, "halo", "b", 2.0, 3.0);
+  rec.record(0, "compute", "c", 0.5, 2.5);
+  // halo busy 2.0s; intersected: [0.5,1.0] + [2.0,2.5] = 1.0s.
+  EXPECT_DOUBLE_EQ(rec.overlap_fraction(0, "halo", "compute"), 0.5);
+  EXPECT_DOUBLE_EQ(rec.lane_busy_seconds(0, "halo"), 2.0);
+}
+
+TEST(TraceRecorder, BusySecondsMergesOverlappingEvents) {
+  TraceRecorder rec;
+  rec.record(0, "compute", "a", 0.0, 2.0);
+  rec.record(0, "compute", "b", 1.0, 3.0);  // overlaps a
+  EXPECT_DOUBLE_EQ(rec.lane_busy_seconds(0, "compute"), 3.0);
+}
+
+TEST(TraceRecorder, TimelineRendersLanes) {
+  TraceRecorder rec;
+  rec.record(0, "compute", "gs", 0.0, 1.0);
+  rec.record(0, "halo", "wait", 0.0, 0.5);
+  const std::string tl = rec.render_timeline(0, 40);
+  EXPECT_NE(tl.find("compute"), std::string::npos);
+  EXPECT_NE(tl.find("halo"), std::string::npos);
+  EXPECT_NE(tl.find('g'), std::string::npos);  // event glyphs
+  EXPECT_EQ(rec.render_timeline(5), "(no events)\n");
+}
+
+TEST(Roofline, AttainableIsMinOfRoofs) {
+  EXPECT_DOUBLE_EQ(roofline_attainable_gflops(0.25, 1600, 23900), 400.0);
+  EXPECT_DOUBLE_EQ(roofline_attainable_gflops(100.0, 1600, 23900), 23900.0);
+  // Bandwidth-only roof when peak unknown.
+  EXPECT_DOUBLE_EQ(roofline_attainable_gflops(100.0, 1600, 0), 160000.0);
+}
+
+TEST(Roofline, SampleDerivedQuantities) {
+  KernelSample s{"spmv", 2e9, 16e9, 2.0};
+  EXPECT_DOUBLE_EQ(s.arithmetic_intensity(), 0.125);
+  EXPECT_DOUBLE_EQ(s.achieved_gflops(), 1.0);
+  EXPECT_DOUBLE_EQ(s.achieved_gbs(), 8.0);
+}
+
+TEST(Roofline, ReportContainsAllKernels) {
+  std::vector<KernelSample> samples{{"k1", 1e9, 8e9, 1.0},
+                                    {"k2", 2e9, 8e9, 1.0}};
+  const std::string rep = roofline_report(samples, 100.0, 0.0);
+  EXPECT_NE(rep.find("k1"), std::string::npos);
+  EXPECT_NE(rep.find("k2"), std::string::npos);
+}
+
+TEST(MachineModel, PresetsAreOrdered) {
+  const MachineModel frontier = MachineModel::frontier_gcd();
+  const MachineModel k80 = MachineModel::k80();
+  EXPECT_GT(frontier.mem_bw_gbs, k80.mem_bw_gbs);
+  EXPECT_EQ(frontier.devices_per_node, 8);
+  // Every preset must have a positive collective-latency coefficient; the
+  // magnitudes are machine-specific calibrations, not ordered quantities
+  // (Frontier's encodes full-system straggler effects at 75k ranks).
+  EXPECT_GT(frontier.allreduce_alpha_us, 0.0);
+  EXPECT_GT(k80.allreduce_alpha_us, 0.0);
+}
+
+TEST(WeakScaling, EfficiencyDecaysWithLogP) {
+  const MachineModel m = MachineModel::frontier_gcd();
+  IterationProfile prof;
+  prof.local_seconds = 5e-3;
+  prof.flops = 1e9;
+  prof.allreduces = 3;         // CGS2 batch + reorth + norm per iteration
+  prof.allreduce_bytes = 240;  // 30 doubles
+  prof.halo_messages = 26;
+  prof.halo_bytes = 1e6;
+  prof.overlap_efficiency = 0.98;
+
+  const auto points = project_weak_scaling(m, prof, {1, 8, 512, 9408});
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].efficiency, points[i - 1].efficiency);
+    EXPECT_GT(points[i].efficiency, 0.3);
+  }
+  EXPECT_EQ(points[3].ranks, 9408LL * 8);
+}
+
+TEST(WeakScaling, PerfectOverlapAtOneNodeStillPaysAllreduce) {
+  const MachineModel m = MachineModel::frontier_gcd();
+  IterationProfile prof;
+  prof.local_seconds = 1e-3;
+  prof.flops = 1e8;
+  prof.allreduces = 1;
+  prof.overlap_efficiency = 1.0;
+  const auto pts = project_weak_scaling(m, prof, {1, 1024});
+  EXPECT_GT(pts[0].seconds_per_iter, prof.local_seconds);  // log2(8) stages
+  EXPECT_GT(pts[1].seconds_per_iter, pts[0].seconds_per_iter);
+}
+
+TEST(Bandwidth, ProbeReturnsPlausibleNumbers) {
+  const BandwidthResult r = measure_stream_bandwidth(1u << 18, 2);
+  EXPECT_GT(r.triad_gbs, 0.1);
+  EXPECT_LT(r.triad_gbs, 10000.0);
+  EXPECT_GT(r.copy_gbs, 0.1);
+}
+
+}  // namespace
+}  // namespace hpgmx

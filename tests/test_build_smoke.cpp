@@ -1,0 +1,65 @@
+// Build-skeleton smoke test: the minimal end-to-end path through the
+// library — generate the stencil problem, build the shared hierarchy,
+// solve with double GMRES and with mixed GMRES-IR — mirroring
+// examples/quickstart.cpp. Its job is to catch wiring regressions in the
+// build system (missing TU, broken include path, unlinked dependency)
+// with one fast test, independent of the per-module suites.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "comm/comm.hpp"
+#include "core/benchmark.hpp"
+#include "core/gmres.hpp"
+#include "core/gmres_ir.hpp"
+#include "core/multigrid.hpp"
+#include "grid/problem.hpp"
+
+namespace hpgmx {
+namespace {
+
+TEST(BuildSmoke, QuickstartPipelineConverges) {
+  constexpr local_index_t n = 16;
+
+  ProcessGrid pgrid(1, 1, 1);
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = n;
+  BenchParams params;
+  params.nx = params.ny = params.nz = n;
+
+  ProblemHierarchy hierarchy =
+      build_hierarchy(generate_problem(pgrid, 0, pp), params.mg_levels,
+                      params.coloring_seed);
+  ASSERT_EQ(hierarchy.levels[0].a.num_rows, n * n * n);
+  ASSERT_EQ(hierarchy.levels.size(), static_cast<std::size_t>(params.mg_levels));
+
+  SelfComm comm;
+  SolverOptions opts;
+  opts.restart = params.restart_length;
+  opts.max_iters = 500;
+  opts.tol = 1e-9;
+
+  const std::span<const double> b(hierarchy.levels[0].b.data(),
+                                  hierarchy.levels[0].b.size());
+
+  Multigrid<double> mg_d(hierarchy, params);
+  Gmres<double> gmres_d(&mg_d.level_op(0), &mg_d, opts);
+  AlignedVector<double> x_d(b.size(), 0.0);
+  const SolveResult res_d =
+      gmres_d.solve(comm, b, std::span<double>(x_d.data(), x_d.size()));
+  EXPECT_TRUE(res_d.converged);
+  EXPECT_LE(res_d.relative_residual, opts.tol);
+
+  Multigrid<float> mg_f(hierarchy, params);
+  DistOperator<double> a_d(hierarchy.levels[0].a, hierarchy.structures[0].get(),
+                           params.opt, /*tag=*/90);
+  GmresIr<float> gmres_ir(&a_d, &mg_f.level_op(0), &mg_f, opts);
+  AlignedVector<double> x_ir(b.size(), 0.0);
+  const SolveResult res_ir =
+      gmres_ir.solve(comm, b, std::span<double>(x_ir.data(), x_ir.size()));
+  EXPECT_TRUE(res_ir.converged);
+  EXPECT_LE(res_ir.relative_residual, opts.tol);
+}
+
+}  // namespace
+}  // namespace hpgmx

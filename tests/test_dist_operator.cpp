@@ -14,12 +14,6 @@
 namespace hpgmx {
 namespace {
 
-BenchParams ref_params() {
-  BenchParams p;
-  p.opt = OptLevel::Reference;
-  return p;
-}
-
 TEST(OperatorStructure, SplitsCoverAllRows) {
   ProblemParams pp;
   pp.nx = pp.ny = pp.nz = 4;

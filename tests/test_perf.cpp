@@ -45,7 +45,7 @@ TEST(ScopedMotif, ChargesElapsedTime) {
     ScopedMotif t(&s, Motif::Restrict, 42);
     volatile double sink = 0;
     for (int i = 0; i < 100000; ++i) {
-      sink += i;
+      sink = sink + i;
     }
   }
   EXPECT_GT(s.seconds(Motif::Restrict), 0.0);

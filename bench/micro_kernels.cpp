@@ -3,14 +3,22 @@
 //   CSR vs ELL SpMV           (§3.2.2)
 //   level-scheduled vs multicolor Gauss–Seidel, fp64 vs fp32   (§3.2.1)
 //   fused vs unfused residual+restriction                      (§3.2.4)
-//   dot/WAXPBY in fp64 vs fp32 (memory-bound 2x expectation)
+//   dot/WAXPBY in fp64 vs fp32 vs 16-bit (memory-bound 2x/4x expectation)
+//
+// `--json` is shorthand for --benchmark_format=json: one machine-readable
+// report on stdout for the BENCH_* perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "blas/vector_ops.hpp"
 #include "coloring/coloring.hpp"
 #include "comm/comm.hpp"
 #include "core/multigrid.hpp"
 #include "grid/problem.hpp"
+#include "precision/float16.hpp"
 #include "sparse/gauss_seidel.hpp"
 #include "sparse/kernels.hpp"
 
@@ -171,14 +179,41 @@ BENCHMARK(bm_spmv_csr<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_spmv_csr<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_spmv_ell<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_spmv_ell<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_spmv_ell<bf16_t>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_spmv_ell<fp16_t>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_gs_levelsched<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_gs_multicolor<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_gs_multicolor<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_gs_multicolor<bf16_t>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_restrict_fused<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_restrict_unfused<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_dot<double>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_dot<float>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_dot<bf16_t>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_waxpby<double>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_waxpby<float>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_waxpby<fp16_t>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a `--json` shorthand spliced in front of Google
+// Benchmark's own flag parsing.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage(argv, argv + argc);
+  for (std::string& arg : storage) {
+    if (arg == "--json") {
+      arg = "--benchmark_format=json";
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& arg : storage) {
+    args.push_back(arg.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

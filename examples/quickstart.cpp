@@ -1,9 +1,11 @@
 // Quickstart: assemble the benchmark problem on one rank, solve it with
 // double GMRES and with mixed-precision GMRES-IR, and compare.
 //
-//   $ ./quickstart [n]        # local grid n^3, default 32
+//   $ ./quickstart [n]                  # local grid n^3, default 32
+//   $ HPGMX_PRECISION=bf16 ./quickstart # inner cycles in bf16 (or fp16/fp32)
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "comm/comm.hpp"
 #include "core/benchmark.hpp"
@@ -11,6 +13,8 @@
 #include "core/gmres_ir.hpp"
 #include "core/multigrid.hpp"
 #include "grid/problem.hpp"
+#include "precision/precision.hpp"
+#include "precision/scale_guard.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpgmx;
@@ -53,18 +57,28 @@ int main(int argc, char** argv) {
   std::printf("double GMRES  : %4d iters, relres %.2e, %.3f s\n",
               res_d.iterations, res_d.relative_residual, sec_d);
 
-  // 3. Mixed precision: GMRES-IR, inner cycles in float.
+  // 3. Mixed precision: GMRES-IR, inner cycles in the storage format chosen
+  //    by HPGMX_PRECISION (fp32 default; bf16/fp16 halve the bytes again).
+  const Precision prec = precision_from_env("HPGMX_PRECISION", Precision::Fp32);
   WallTimer t_ir;
-  Multigrid<float> mg_f(hierarchy, params);
-  DistOperator<double> a_d(hierarchy.levels[0].a, hierarchy.structures[0].get(),
-                           params.opt, /*tag=*/90);
-  GmresIr<float> gmres_ir(&a_d, &mg_f.level_op(0), &mg_f, opts);
   AlignedVector<double> x_ir(b.size(), 0.0);
-  const SolveResult res_ir =
-      gmres_ir.solve(comm, b, std::span<double>(x_ir.data(), x_ir.size()));
+  const SolveResult res_ir = dispatch_precision(prec, [&](auto tag) {
+    using TLow = typename decltype(tag)::type;
+    ScaleGuard guard;
+    guard.initialize(hierarchy_max_abs_value(hierarchy),
+                     PrecisionTraits<TLow>::max_finite);
+    Multigrid<TLow> mg_low(hierarchy, params, /*tag_base=*/100, guard.scale());
+    DistOperator<double> a_d(hierarchy.levels[0].a,
+                             hierarchy.structures[0].get(), params.opt,
+                             /*tag=*/90);
+    GmresIr<TLow> gmres_ir(&a_d, &mg_low.level_op(0), &mg_low, opts);
+    gmres_ir.set_scale_guard(&guard);
+    return gmres_ir.solve(comm, b, std::span<double>(x_ir.data(), x_ir.size()));
+  });
   const double sec_ir = t_ir.seconds();
-  std::printf("GMRES-IR (f32): %4d iters, relres %.2e, %.3f s\n",
-              res_ir.iterations, res_ir.relative_residual, sec_ir);
+  std::printf("GMRES-IR (%s): %4d iters, relres %.2e, %.3f s\n",
+              std::string(precision_name(prec)).c_str(), res_ir.iterations,
+              res_ir.relative_residual, sec_ir);
 
   // 4. Both reached the same 1e-9 accuracy; the exact solution is 1.
   double max_err = 0;

@@ -68,12 +68,12 @@ void gemv_t(Comm& comm, const MultiVector<T>& q, int k, std::span<const T> w,
     const T* __restrict col = q.data() + static_cast<std::size_t>(j) *
                                              static_cast<std::size_t>(n);
     const T* __restrict wv = w.data();
-    T acc = T(0);
+    accum_t<T> acc = accum_t<T>(0);
 #pragma omp parallel for schedule(static) reduction(+ : acc)
     for (local_index_t i = 0; i < n; ++i) {
       acc += col[i] * wv[i];
     }
-    local[static_cast<std::size_t>(j)] = acc;
+    local[static_cast<std::size_t>(j)] = static_cast<T>(acc);
   }
   comm.allreduce(std::span<const T>(local.data(), local.size()),
                  h.subspan(0, static_cast<std::size_t>(k)), ReduceOp::Sum);
@@ -91,13 +91,13 @@ void gemv_n_sub(const MultiVector<T>& q, int k, std::span<const T> h,
   T* __restrict wv = w.data();
 #pragma omp parallel for schedule(static)
   for (local_index_t i = 0; i < n; ++i) {
-    T acc = wv[i];
+    accum_t<T> acc = wv[i];
     for (int j = 0; j < k; ++j) {
       acc -= qd[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
                 static_cast<std::size_t>(i)] *
              hv[j];
     }
-    wv[i] = acc;
+    wv[i] = static_cast<T>(acc);
   }
 }
 
@@ -112,13 +112,13 @@ void gemv_n(const MultiVector<T>& q, int k, std::span<const T> t,
   T* __restrict wv = w.data();
 #pragma omp parallel for schedule(static)
   for (local_index_t i = 0; i < n; ++i) {
-    T acc = T(0);
+    accum_t<T> acc = accum_t<T>(0);
     for (int j = 0; j < k; ++j) {
       acc += qd[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
                 static_cast<std::size_t>(i)] *
              tv[j];
     }
-    wv[i] = acc;
+    wv[i] = static_cast<T>(acc);
   }
 }
 

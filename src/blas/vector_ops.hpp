@@ -24,9 +24,11 @@ namespace hpgmx {
 /// to absorb precisely this roundoff). Deterministic for a fixed thread
 /// count via OpenMP's static reduction.
 template <typename TX, typename TY>
-[[nodiscard]] wider_t<TX, TY> dot_local(std::span<const TX> x,
-                                        std::span<const TY> y) {
-  using Acc = wider_t<TX, TY>;
+[[nodiscard]] accum_t<wider_t<TX, TY>> dot_local(std::span<const TX> x,
+                                                 std::span<const TY> y) {
+  // 16-bit storage promotes through float (accum_t) so the OpenMP
+  // reduction runs on a hardware type and the sum keeps its digits.
+  using Acc = accum_t<wider_t<TX, TY>>;
   HPGMX_CHECK(x.size() == y.size());
   const TX* __restrict xv = x.data();
   const TY* __restrict yv = y.data();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "precision/float16.hpp"
+
 namespace hpgmx {
 namespace detail {
 
@@ -38,6 +40,10 @@ const TypeOps& type_ops() {
 
 template const TypeOps& type_ops<float>();
 template const TypeOps& type_ops<double>();
+// 16-bit formats reduce elementwise through their float-promoted compound
+// operators; payload stays 2 bytes per value on the wire.
+template const TypeOps& type_ops<bf16_t>();
+template const TypeOps& type_ops<fp16_t>();
 template const TypeOps& type_ops<std::int32_t>();
 template const TypeOps& type_ops<std::int64_t>();
 template const TypeOps& type_ops<std::uint64_t>();

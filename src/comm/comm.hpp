@@ -18,6 +18,12 @@
 
 namespace hpgmx {
 
+// 16-bit storage formats (src/precision/float16.hpp); registered with the
+// collective engine so halo exchange and CGS2 allreduces move 2-byte
+// payloads.
+struct bf16_t;
+struct fp16_t;
+
 /// Reduction operator for collectives.
 enum class ReduceOp { Sum, Max, Min };
 
@@ -37,6 +43,8 @@ const TypeOps& type_ops();
 
 extern template const TypeOps& type_ops<float>();
 extern template const TypeOps& type_ops<double>();
+extern template const TypeOps& type_ops<bf16_t>();
+extern template const TypeOps& type_ops<fp16_t>();
 extern template const TypeOps& type_ops<std::int32_t>();
 extern template const TypeOps& type_ops<std::int64_t>();
 extern template const TypeOps& type_ops<std::uint64_t>();

@@ -91,6 +91,10 @@ class BenchmarkDriver {
   [[nodiscard]] int num_ranks() const { return num_ranks_; }
   [[nodiscard]] const BenchParams& params() const { return params_; }
 
+  /// Switch the inner GMRES-IR storage precision between runs — precision
+  /// sweeps reuse one driver (and its generated hierarchies) per rank count.
+  void set_inner_precision(Precision p) { params_.inner_precision = p; }
+
   /// Phase 1. `mode` selects §3 standard or §3.3 fullscale validation.
   ValidationResult run_validation(ValidationMode mode);
 
@@ -111,6 +115,15 @@ class BenchmarkDriver {
 
   std::vector<ProblemHierarchy> build_hierarchies(int ranks) const;
   const std::vector<ProblemHierarchy>& hierarchies_for(int ranks);
+  /// Validation's double reference solve depends only on the problem and
+  /// rank count, not on inner_precision — cache it so precision sweeps
+  /// (several run_validation calls on one driver) run it once per ranks.
+  SolveResult validation_double_result_;
+  int validation_double_ranks_ = -1;
+  /// Phase body instantiated per inner storage format (TLow is ignored for
+  /// mixed == false, the all-double phase).
+  template <typename TLow>
+  PhaseResult run_phase_impl(bool mixed);
 };
 
 }  // namespace hpgmx

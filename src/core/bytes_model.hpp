@@ -15,8 +15,8 @@ namespace hpgmx {
 /// entries), y written.
 template <typename T>
 [[nodiscard]] constexpr double spmv_bytes(std::int64_t nnz, local_index_t n) {
-  return static_cast<double>(nnz) * (sizeof(T) + sizeof(local_index_t)) +
-         2.0 * static_cast<double>(n) * sizeof(T);
+  return static_cast<double>(nnz) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
+         2.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
 /// One GS relaxation sweep: like SpMV plus the diagonal array and the
@@ -24,16 +24,16 @@ template <typename T>
 template <typename T>
 [[nodiscard]] constexpr double gs_sweep_bytes(std::int64_t nnz,
                                               local_index_t n) {
-  return static_cast<double>(nnz) * (sizeof(T) + sizeof(local_index_t)) +
-         4.0 * static_cast<double>(n) * sizeof(T);
+  return static_cast<double>(nnz) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
+         4.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
 /// r = b − A x.
 template <typename T>
 [[nodiscard]] constexpr double residual_bytes(std::int64_t nnz,
                                               local_index_t n) {
-  return static_cast<double>(nnz) * (sizeof(T) + sizeof(local_index_t)) +
-         3.0 * static_cast<double>(n) * sizeof(T);
+  return static_cast<double>(nnz) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
+         3.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
 /// Fused residual+restrict touching only the restricted fine rows.
@@ -41,27 +41,27 @@ template <typename T>
 [[nodiscard]] constexpr double fused_restrict_bytes(std::int64_t nnz_sel,
                                                     local_index_t n_fine,
                                                     local_index_t n_coarse) {
-  return static_cast<double>(nnz_sel) * (sizeof(T) + sizeof(local_index_t)) +
-         static_cast<double>(n_fine) * sizeof(T) +  // gathered x
+  return static_cast<double>(nnz_sel) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
+         static_cast<double>(n_fine) * PrecisionTraits<T>::bytes +  // gathered x
          2.0 * static_cast<double>(n_coarse) *
-             (sizeof(T) + sizeof(local_index_t));  // b at c2f, rc, map
+             (PrecisionTraits<T>::bytes + sizeof(local_index_t));  // b at c2f, rc, map
 }
 
 /// CGS2 step k: four passes over Q[:, :k] plus the vector w.
 template <typename T>
 [[nodiscard]] constexpr double cgs2_bytes(local_index_t n, int k) {
-  return 4.0 * static_cast<double>(n) * k * sizeof(T) +
-         6.0 * static_cast<double>(n) * sizeof(T);
+  return 4.0 * static_cast<double>(n) * k * PrecisionTraits<T>::bytes +
+         6.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
 template <typename T>
 [[nodiscard]] constexpr double dot_bytes(local_index_t n) {
-  return 2.0 * static_cast<double>(n) * sizeof(T);
+  return 2.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
 template <typename T>
 [[nodiscard]] constexpr double waxpby_bytes(local_index_t n) {
-  return 3.0 * static_cast<double>(n) * sizeof(T);
+  return 3.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
 }  // namespace hpgmx

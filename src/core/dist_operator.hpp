@@ -58,11 +58,17 @@ OperatorStructure build_structure(const Problem& prob, std::uint64_t seed,
 template <typename T>
 class DistOperator {
  public:
-  /// `tag` namespaces this level's halo traffic; `structure` must outlive
-  /// the operator (shared between the double and float instantiations).
+  /// `tag` namespaces this level's halo traffic; `a` and `structure` must
+  /// outlive the operator (`a` is retained as the re-demotion source for
+  /// set_value_scale; `structure` is shared between the double and float
+  /// instantiations). `value_scale` (a ScaleGuard's power-of-two α) scales
+  /// values before demotion so narrow-exponent formats are not overflowed
+  /// by a badly scaled matrix; 1.0 reproduces the plain conversion exactly.
   DistOperator(const CsrMatrix<double>& a, const OperatorStructure* structure,
-               OptLevel opt, int tag)
-      : csr_(a.convert<T>()),
+               OptLevel opt, int tag, double value_scale = 1.0)
+      : source_(&a),
+        value_scale_(value_scale),
+        csr_(a.convert<T>(value_scale)),
         ell_(ell_from_csr(csr_)),
         structure_(structure),
         opt_(opt),
@@ -84,6 +90,26 @@ class DistOperator {
 
   void set_stats(MotifStats* stats) { stats_ = stats; }
   void set_event_sink(EventSink* sink) { sink_ = sink; }
+
+  [[nodiscard]] double value_scale() const { return value_scale_; }
+
+  /// Set the demotion scale to the *absolute* value `scale`, re-demoting
+  /// the stored matrix from the double source — a ScaleGuard backing off
+  /// or recovering mid-solve. Re-demoting (rather than multiplying the
+  /// rounded low-precision values in place) keeps the stored operator
+  /// exactly (T)(scale·A) — entries in fp16's subnormal range would
+  /// otherwise be double-rounded on every backoff/regrow round trip — and
+  /// makes the call idempotent, so callers holding aliased views of one
+  /// operator (GmresIr's a_low is the multigrid's fine level) stay
+  /// consistent. No-op when the scale is unchanged.
+  void set_value_scale(double scale) {
+    if (scale == value_scale_) {
+      return;
+    }
+    value_scale_ = scale;
+    csr_ = source_->convert<T>(scale);
+    ell_ = ell_from_csr(csr_);
+  }
 
   /// y = A x. x is a full-length vector (owned+halo); its halo region is
   /// refreshed as part of the product. Overlapped on the optimized path.
@@ -186,6 +212,8 @@ class DistOperator {
   }
 
  private:
+  const CsrMatrix<double>* source_;
+  double value_scale_;
   CsrMatrix<T> csr_;
   EllMatrix<T> ell_;
   const OperatorStructure* structure_;

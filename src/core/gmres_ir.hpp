@@ -22,6 +22,7 @@
 #include "core/gmres.hpp"
 #include "core/multigrid.hpp"
 #include "perf/motifs.hpp"
+#include "precision/scale_guard.hpp"
 
 namespace hpgmx {
 
@@ -41,6 +42,14 @@ class GmresIr {
     a_low_->set_stats(stats);
     mg_low_->set_stats(stats);
   }
+
+  /// Attach an AMP-style scale guard. `a_low`/`mg_low` must have been
+  /// demoted with `guard->scale()` as their value_scale; the solver then
+  /// compensates updates with the current scale, watches the inner basis
+  /// for non-finite growth, and drives the guard's backoff/regrow cycle.
+  /// Without a guard, a non-finite inner basis aborts the solve
+  /// (converged = false) instead of burning the iteration budget.
+  void set_scale_guard(ScaleGuard* guard) { guard_ = guard; }
 
   SolveResult solve(Comm& comm, std::span<const double> b,
                     std::span<double> x) {
@@ -75,6 +84,7 @@ class GmresIr {
       x_full[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
     }
 
+    bool aborted = false;
     while (result.iterations < opts_.max_iters) {
       // -- outer refinement step, REQUIRED double (alg. 3 line 7) ----------
       a_high_->residual(comm, b,
@@ -110,6 +120,7 @@ class GmresIr {
 
       // -- inner GMRES cycle, all TLow (blue region of alg. 3) -------------
       int k_used = 0;
+      bool basis_overflowed = false;
       for (int k = 0; k < m && result.iterations < opts_.max_iters; ++k) {
         mg_low_->apply(comm, q.column(k),
                        std::span<TLow>(z_full.data(), z_full.size()));
@@ -148,11 +159,27 @@ class GmresIr {
           rho_est = qr.insert_column(k, std::span<double>(h.data(), h.size())) *
                     rho;
         }
+        // fp16's narrow exponent range can blow the inner basis up to
+        // inf/NaN; a poisoned beta or Hessenberg column means this whole
+        // cycle is garbage — hand control to the ScaleGuard.
+        if (!std::isfinite(beta) || !std::isfinite(rho_est)) {
+          basis_overflowed = true;
+          break;
+        }
         ++result.iterations;
         k_used = k + 1;
         if (rho_est / rho0 < opts_.tol || beta == 0.0) {
           break;
         }
+      }
+      if (basis_overflowed) {
+        if (guard_ == nullptr || guard_->exhausted()) {
+          aborted = true;  // unrecoverable: stop burning the budget
+          break;
+        }
+        (void)guard_->on_overflow();
+        sync_operator_scale();
+        continue;  // x is untouched; retry the outer step at smaller scale
       }
       if (k_used == 0) {
         break;
@@ -177,15 +204,44 @@ class GmresIr {
       }
       mg_low_->apply(comm, std::span<const TLow>(u.data(), u.size()),
                      std::span<TLow>(z_full.data(), z_full.size()));
+      // Collective vote: every rank must agree on discarding a correction,
+      // or the SPMD ranks' collective schedules (and the guard's uniform
+      // scale) would drift apart. beta/rho_est above are allreduce-derived
+      // and therefore already rank-consistent.
+      const int correction_finite = comm.allreduce_scalar(
+          all_finite(std::span<const TLow>(z_full.data(),
+                                           static_cast<std::size_t>(n)))
+              ? 1
+              : 0,
+          ReduceOp::Min);
+      if (correction_finite == 0) {
+        // Non-finite correction: never fold it into x. Back the scale off
+        // (guarded) or abandon the solve (unguarded).
+        if (guard_ == nullptr || guard_->exhausted()) {
+          aborted = true;
+          break;
+        }
+        (void)guard_->on_overflow();
+        sync_operator_scale();
+        continue;
+      }
       {
-        // Mixed-precision WAXPBY: double x += rho * float z, single pass.
+        // Mixed-precision WAXPBY: double x += rho * alpha * low z, single
+        // pass. alpha compensates the guard's matrix demotion scale: the
+        // inner cycle solved (alpha A) z = r/rho, so e = rho * alpha * z.
+        const double alpha = guard_ != nullptr ? guard_->scale() : 1.0;
         ScopedMotif sm(stats_, Motif::Vector, waxpby_flops(n));
-        axpy(rho, std::span<const TLow>(z_full.data(), static_cast<std::size_t>(n)),
+        axpy(rho * alpha,
+             std::span<const TLow>(z_full.data(), static_cast<std::size_t>(n)),
              std::span<double>(x_full.data(), static_cast<std::size_t>(n)));
+      }
+      if (guard_ != nullptr) {
+        (void)guard_->on_good_cycle();
+        sync_operator_scale();
       }
     }
 
-    if (!result.converged) {
+    if (!result.converged && !aborted) {
       a_high_->residual(comm, b,
                         std::span<double>(x_full.data(), x_full.size()),
                         std::span<double>(r.data(), r.size()));
@@ -201,11 +257,21 @@ class GmresIr {
   }
 
  private:
+  /// Bring the low-precision operators to the guard's current absolute
+  /// scale. set_value_scale re-demotes from the double source and is
+  /// idempotent, so the (usual) aliasing of a_low_ with the multigrid's
+  /// fine-level operator cannot double-apply a scale change.
+  void sync_operator_scale() {
+    mg_low_->set_value_scale(guard_->scale());
+    a_low_->set_value_scale(guard_->scale());
+  }
+
   DistOperator<double>* a_high_;
   DistOperator<TLow>* a_low_;
   Multigrid<TLow>* mg_low_;
   SolverOptions opts_;
   MotifStats* stats_ = nullptr;
+  ScaleGuard* guard_ = nullptr;
 };
 
 }  // namespace hpgmx

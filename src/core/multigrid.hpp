@@ -9,6 +9,8 @@
 // copy of the system matrix alongside the double one.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -37,19 +39,36 @@ struct ProblemHierarchy {
 ProblemHierarchy build_hierarchy(Problem fine, int max_levels,
                                  std::uint64_t coloring_seed);
 
+/// Largest |a_ij| across every level of the hierarchy — what a ScaleGuard
+/// compares against the target format's overflow threshold before the
+/// low-precision operators are demoted.
+[[nodiscard]] inline double hierarchy_max_abs_value(
+    const ProblemHierarchy& hierarchy) {
+  double max_abs = 0.0;
+  for (const Problem& lvl : hierarchy.levels) {
+    for (const double v : lvl.a.values) {
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+  return max_abs;
+}
+
 /// Multigrid preconditioner in precision T over a shared hierarchy.
 template <typename T>
 class Multigrid {
  public:
+  /// `value_scale` demotes every level's matrix as α·A (ScaleGuard hook);
+  /// the scalar commutes through Gauss–Seidel and injection exactly, so
+  /// the V-cycle preconditions α·A as well as it preconditions A.
   Multigrid(const ProblemHierarchy& hierarchy, const BenchParams& params,
-            int tag_base = 100)
+            int tag_base = 100, double value_scale = 1.0)
       : hierarchy_(&hierarchy), params_(params) {
     const int nl = static_cast<int>(hierarchy.levels.size());
     ops_.reserve(static_cast<std::size_t>(nl));
     for (int l = 0; l < nl; ++l) {
       ops_.emplace_back(hierarchy.levels[static_cast<std::size_t>(l)].a,
                         hierarchy.structures[static_cast<std::size_t>(l)].get(),
-                        params.opt, tag_base + l);
+                        params.opt, tag_base + l, value_scale);
     }
     r_.resize(static_cast<std::size_t>(nl));
     z_.resize(static_cast<std::size_t>(nl));
@@ -75,6 +94,13 @@ class Multigrid {
   void set_event_sink(EventSink* sink) {
     for (auto& op : ops_) {
       op.set_event_sink(sink);
+    }
+  }
+
+  /// Re-demote every level at the absolute scale (ScaleGuard backoff/regrow).
+  void set_value_scale(double scale) {
+    for (auto& op : ops_) {
+      op.set_value_scale(scale);
     }
   }
 

@@ -4,9 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
+#include "base/error.hpp"
 #include "base/options.hpp"
 #include "base/types.hpp"
+#include "precision/precision.hpp"
 
 namespace hpgmx {
 
@@ -18,6 +22,17 @@ enum class OptLevel {
 
 [[nodiscard]] constexpr const char* opt_level_name(OptLevel o) {
   return o == OptLevel::Reference ? "reference" : "optimized";
+}
+
+[[nodiscard]] inline std::optional<OptLevel> parse_opt_level(
+    std::string_view s) {
+  if (s == "reference" || s == "ref") {
+    return OptLevel::Reference;
+  }
+  if (s == "optimized" || s == "opt") {
+    return OptLevel::Optimized;
+  }
+  return std::nullopt;
 }
 
 /// Run-time parameters of the benchmark (paper Table 1 values in comments).
@@ -45,8 +60,13 @@ struct BenchParams {
 
   OptLevel opt = OptLevel::Optimized;
 
+  /// Storage precision of the inner GMRES-IR cycles (the paper's fp32
+  /// column by default; bf16/fp16 open the sub-32-bit territory).
+  Precision inner_precision = Precision::Fp32;
+
   /// Apply HPGMX_NX/NY/NZ, HPGMX_RESTART, HPGMX_MAXITERS, HPGMX_BENCH_SECONDS,
-  /// HPGMX_GAMMA, HPGMX_MG_LEVELS environment overrides.
+  /// HPGMX_GAMMA, HPGMX_MG_LEVELS, HPGMX_PRECISION (fp64|fp32|bf16|fp16) and
+  /// HPGMX_OPT (reference|optimized) environment overrides.
   static BenchParams from_env() {
     BenchParams p;
     p.nx = static_cast<local_index_t>(env_int_or("HPGMX_NX", p.nx));
@@ -59,6 +79,14 @@ struct BenchParams {
     p.mg_levels = static_cast<int>(env_int_or("HPGMX_MG_LEVELS", p.mg_levels));
     p.bench_seconds = env_double_or("HPGMX_BENCH_SECONDS", p.bench_seconds);
     p.gamma = env_double_or("HPGMX_GAMMA", p.gamma);
+    p.inner_precision = precision_from_env("HPGMX_PRECISION", p.inner_precision);
+    if (const auto opt = env_string("HPGMX_OPT"); opt.has_value()) {
+      const auto parsed = parse_opt_level(*opt);
+      HPGMX_CHECK_MSG(parsed.has_value(),
+                      "HPGMX_OPT='" << *opt
+                                    << "' is not a path (reference|optimized)");
+      p.opt = *parsed;
+    }
     return p;
   }
 };

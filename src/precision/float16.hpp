@@ -1,0 +1,189 @@
+// Software 16-bit storage formats: bfloat16 (`bf16_t`) and IEEE binary16
+// (`fp16_t`).
+//
+// These are *storage* types in the sense of the paper's memory-wall
+// argument: what matters for a bandwidth-bound sparse solver is the number
+// of bytes a value occupies in memory, not the width of the ALU that
+// combines it. Both types hold a 16-bit payload (sizeof == 2, so the bytes
+// model and halo/allreduce payloads are automatically halved relative to
+// fp32) and promote all arithmetic through float via an implicit
+// conversion operator — the same contract hardware bf16/fp16 units expose
+// when they accumulate in fp32.
+//
+// Conversions from float use round-to-nearest-even, the IEEE default and
+// the behavior of __float2half_rn / hardware bf16 converters; NaNs are
+// quieted and keep their sign, infinities and overflow saturate to the
+// format's infinity.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "base/types.hpp"
+
+namespace hpgmx {
+namespace detail {
+
+/// float -> bfloat16 bits, round-to-nearest-even on the dropped 16 bits.
+[[nodiscard]] constexpr std::uint16_t float_to_bf16_bits(float f) {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  if ((u & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: quiet it and keep the sign; rounding could otherwise carry the
+    // mantissa into the exponent and turn the NaN into an infinity.
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  const std::uint32_t rounded = u + 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(rounded >> 16);
+}
+
+[[nodiscard]] constexpr float bf16_bits_to_float(std::uint16_t b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+/// float -> IEEE binary16 bits, round-to-nearest-even, overflow to inf,
+/// gradual underflow into half subnormals.
+[[nodiscard]] constexpr std::uint16_t float_to_fp16_bits(float f) {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  const auto sign = static_cast<std::uint16_t>((u >> 16) & 0x8000u);
+  const std::uint32_t abs = u & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // inf or NaN
+    const auto mant =
+        abs > 0x7f800000u
+            ? static_cast<std::uint16_t>(((abs >> 13) & 0x3ffu) | 0x200u)
+            : static_cast<std::uint16_t>(0);
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+  }
+  if (abs >= 0x47800000u) {  // >= 2^16: past the largest half even after RNE
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x38800000u) {  // normal half range [2^-14, 65504]
+    // RNE on the 13 dropped mantissa bits; a mantissa carry walks into the
+    // exponent, which also handles 65520 -> inf correctly.
+    const std::uint32_t rounded = abs + 0xfffu + ((abs >> 13) & 1u);
+    return static_cast<std::uint16_t>(sign | ((rounded - 0x38000000u) >> 13));
+  }
+  if (abs < 0x33000000u) {  // < 2^-25: underflows to (signed) zero
+    return sign;
+  }
+  // Subnormal half: quantize to multiples of 2^-24 with RNE.
+  const std::uint32_t exp = abs >> 23;               // biased, 102..112
+  const std::uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+  const std::uint32_t shift = 126u - exp;            // 14..24
+  const std::uint32_t q = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1u);
+  const std::uint32_t half = 1u << (shift - 1u);
+  const std::uint32_t up = (rem > half || (rem == half && (q & 1u))) ? 1u : 0u;
+  return static_cast<std::uint16_t>(sign | (q + up));
+}
+
+[[nodiscard]] constexpr float fp16_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+  if (exp == 0x1fu) {  // inf / NaN
+    return std::bit_cast<float>(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {  // zero / subnormal: value = mant * 2^-24
+    if (mant == 0) {
+      return std::bit_cast<float>(sign);
+    }
+    const float v = static_cast<float>(mant) * 0x1p-24f;
+    return sign != 0 ? -v : v;
+  }
+  return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+}  // namespace detail
+
+/// bfloat16: 1 sign, 8 exponent, 7 mantissa bits — float's exponent range
+/// at half the storage. The format of choice for demoted matrices whose
+/// dynamic range is unknown (no overflow risk relative to fp32).
+struct bf16_t {
+  std::uint16_t bits = 0;
+
+  constexpr bf16_t() = default;
+  constexpr bf16_t(float f) : bits(detail::float_to_bf16_bits(f)) {}  // NOLINT
+  explicit constexpr bf16_t(double d) : bf16_t(static_cast<float>(d)) {}
+  explicit constexpr bf16_t(int i) : bf16_t(static_cast<float>(i)) {}
+
+  constexpr operator float() const {  // NOLINT: promotion is the arithmetic
+    return detail::bf16_bits_to_float(bits);
+  }
+
+  constexpr bf16_t& operator+=(float o) { return *this = bf16_t(static_cast<float>(*this) + o); }
+  constexpr bf16_t& operator-=(float o) { return *this = bf16_t(static_cast<float>(*this) - o); }
+  constexpr bf16_t& operator*=(float o) { return *this = bf16_t(static_cast<float>(*this) * o); }
+  constexpr bf16_t& operator/=(float o) { return *this = bf16_t(static_cast<float>(*this) / o); }
+
+  [[nodiscard]] static constexpr bf16_t from_bits(std::uint16_t b) {
+    bf16_t v;
+    v.bits = b;
+    return v;
+  }
+};
+
+/// IEEE binary16: 1 sign, 5 exponent, 10 mantissa bits — three extra digits
+/// of precision over bf16, paid for with a [6e-8, 65504] magnitude window
+/// that needs a ScaleGuard to survive inside GMRES-IR.
+struct fp16_t {
+  std::uint16_t bits = 0;
+
+  constexpr fp16_t() = default;
+  constexpr fp16_t(float f) : bits(detail::float_to_fp16_bits(f)) {}  // NOLINT
+  explicit constexpr fp16_t(double d) : fp16_t(static_cast<float>(d)) {}
+  explicit constexpr fp16_t(int i) : fp16_t(static_cast<float>(i)) {}
+
+  constexpr operator float() const {  // NOLINT: promotion is the arithmetic
+    return detail::fp16_bits_to_float(bits);
+  }
+
+  constexpr fp16_t& operator+=(float o) { return *this = fp16_t(static_cast<float>(*this) + o); }
+  constexpr fp16_t& operator-=(float o) { return *this = fp16_t(static_cast<float>(*this) - o); }
+  constexpr fp16_t& operator*=(float o) { return *this = fp16_t(static_cast<float>(*this) * o); }
+  constexpr fp16_t& operator/=(float o) { return *this = fp16_t(static_cast<float>(*this) / o); }
+
+  [[nodiscard]] static constexpr fp16_t from_bits(std::uint16_t b) {
+    fp16_t v;
+    v.bits = b;
+    return v;
+  }
+};
+
+static_assert(sizeof(bf16_t) == 2 && sizeof(fp16_t) == 2);
+
+template <>
+inline constexpr bool is_supported_value_v<bf16_t> = true;
+template <>
+inline constexpr bool is_supported_value_v<fp16_t> = true;
+
+/// 16-bit accumulations promote through float: a running bf16 sum over a
+/// 27-entry stencil row would lose ~5% of it to roundoff.
+template <>
+struct accum<bf16_t> {
+  using type = float;
+};
+template <>
+struct accum<fp16_t> {
+  using type = float;
+};
+
+template <>
+struct PrecisionTraits<bf16_t> {
+  /// eps = 2^-7 (7 mantissa bits), so unit roundoff is 2^-8.
+  static constexpr bf16_t unit_roundoff{0x1p-8f};
+  static constexpr std::size_t bytes = sizeof(bf16_t);
+  /// 0x7f7f: exponent 254, mantissa all ones.
+  static constexpr double max_finite = 3.3895313892515355e38;
+  static constexpr std::string_view name = "bf16";
+};
+
+template <>
+struct PrecisionTraits<fp16_t> {
+  /// eps = 2^-10 (10 mantissa bits), so unit roundoff is 2^-11.
+  static constexpr fp16_t unit_roundoff{0x1p-11f};
+  static constexpr std::size_t bytes = sizeof(fp16_t);
+  static constexpr double max_finite = 65504.0;
+  static constexpr std::string_view name = "fp16";
+};
+
+}  // namespace hpgmx

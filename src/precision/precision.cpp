@@ -1,0 +1,44 @@
+#include "precision/precision.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "base/options.hpp"
+
+namespace hpgmx {
+
+std::optional<Precision> parse_precision(std::string_view s) {
+  std::string lower(s);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "fp64" || lower == "double" || lower == "f64") {
+    return Precision::Fp64;
+  }
+  if (lower == "fp32" || lower == "float" || lower == "single" ||
+      lower == "f32") {
+    return Precision::Fp32;
+  }
+  if (lower == "bf16" || lower == "bfloat16") {
+    return Precision::Bf16;
+  }
+  if (lower == "fp16" || lower == "half" || lower == "f16" ||
+      lower == "binary16") {
+    return Precision::Fp16;
+  }
+  return std::nullopt;
+}
+
+Precision precision_from_env(const char* var, Precision fallback) {
+  const auto raw = env_string(var);
+  if (!raw.has_value()) {
+    return fallback;
+  }
+  const auto parsed = parse_precision(*raw);
+  HPGMX_CHECK_MSG(parsed.has_value(),
+                  var << "='" << *raw
+                      << "' is not a precision (fp64|fp32|bf16|fp16)");
+  return *parsed;
+}
+
+}  // namespace hpgmx

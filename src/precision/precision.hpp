@@ -1,0 +1,63 @@
+// Runtime selection of the GMRES-IR inner storage precision.
+//
+// The solver stack (DistOperator/Multigrid/GmresIr) is templated on its
+// value type; this header is the bridge from a run-time choice — a
+// BenchParams field, the HPGMX_PRECISION environment variable, a sweep
+// loop in an exhibit — to those instantiations. dispatch_precision()
+// instantiates its callable once per supported format, which is where the
+// bf16/fp16 kernel and solver template bodies get compiled.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "base/error.hpp"
+#include "precision/float16.hpp"
+
+namespace hpgmx {
+
+/// Storage formats the inner GMRES-IR cycles can run in.
+enum class Precision {
+  Fp64,  ///< double — degenerate "mixed" solver, useful as a control
+  Fp32,  ///< float — the paper's benchmark configuration
+  Bf16,  ///< bfloat16 — half the bytes, fp32 exponent range
+  Fp16,  ///< IEEE binary16 — half the bytes, needs ScaleGuard
+};
+
+/// Value-type tag passed to dispatch_precision() callables.
+template <typename T>
+struct PrecisionTag {
+  using type = T;
+};
+
+[[nodiscard]] constexpr std::string_view precision_name(Precision p) {
+  switch (p) {
+    case Precision::Fp64: return "fp64";
+    case Precision::Fp32: return "fp32";
+    case Precision::Bf16: return "bf16";
+    case Precision::Fp16: return "fp16";
+  }
+  return "?";
+}
+
+/// Parse "fp64"/"fp32"/"bf16"/"fp16" (also accepts "double"/"float"/"half").
+[[nodiscard]] std::optional<Precision> parse_precision(std::string_view s);
+
+/// Environment override: parse `var` when set, else `fallback`. Throws on
+/// an unparseable value (a typo'd sweep must not silently run fp32).
+[[nodiscard]] Precision precision_from_env(const char* var, Precision fallback);
+
+/// Invoke `f(PrecisionTag<T>{})` with T selected by `p`; returns f's result.
+template <typename F>
+decltype(auto) dispatch_precision(Precision p, F&& f) {
+  switch (p) {
+    case Precision::Fp64: return f(PrecisionTag<double>{});
+    case Precision::Fp32: return f(PrecisionTag<float>{});
+    case Precision::Bf16: return f(PrecisionTag<bf16_t>{});
+    case Precision::Fp16: return f(PrecisionTag<fp16_t>{});
+  }
+  HPGMX_CHECK_MSG(false, "invalid Precision value");
+  return f(PrecisionTag<float>{});  // unreachable
+}
+
+}  // namespace hpgmx

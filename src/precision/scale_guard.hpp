@@ -1,0 +1,128 @@
+// AMP-style dynamic scaling for low-precision demotion inside GMRES-IR.
+//
+// The narrow-exponent format (fp16: largest finite 65504) cannot hold a
+// badly scaled matrix: demoting A produces infinities, the inner Krylov
+// basis turns non-finite, and the solver silently burns its iteration
+// budget. In the spirit of gradient scaling in ML AMP runtimes, ScaleGuard
+// manages one power-of-two scale α applied when the operator is demoted:
+//
+//   * at initialization, α is chosen so max|A| lands near `target_max_abs`
+//     whenever the unscaled demotion would come close to the format's
+//     overflow threshold (HPL-MxP-style equilibration to O(1); the demoted
+//     residual is already scaled to unit norm by GMRES-IR's 1/ρ
+//     normalization — α handles the matrix side the ρ scaling cannot);
+//   * during the solve, the caller reports non-finite growth detected in
+//     the inner Krylov basis (a NaN basis norm, a non-finite correction)
+//     and backs α off multiplicatively, re-demoting the stored operator
+//     from its double source at the new absolute scale;
+//   * after clean outer cycles, α grows back toward its initial value.
+//
+// α is kept a power of two so demotion at any scale differs from the
+// unscaled one only in the exponent, and the inner solve's arithmetic is
+// unchanged up to exponent shifts. The inner GMRES then solves
+// (αA) z = r/ρ, and the outer update compensates with x += (ρ·α) z —
+// scaling is invisible to the converged answer.
+//
+// The guard is format-agnostic: initialized against fp32/bf16's huge range
+// it stays at α = 1 and only monitors for non-finite growth.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace hpgmx {
+
+struct ScaleGuardConfig {
+  /// Demotion engages scaling only when max|A| exceeds this fraction of
+  /// the format's largest finite value (below it, demotion is exact enough
+  /// and α = 1 keeps fp32 semantics bit-identical to the unguarded path).
+  double safety_fraction = 0.25;
+  /// When engaged, α maps max|A| to roughly this magnitude. O(1) centers
+  /// the demoted operator in the format's exponent window, leaving
+  /// headroom both up (overflow) and down (subnormal underflow).
+  double target_max_abs = 1.0;
+  /// Multiplicative backoff applied on detected overflow (power of two).
+  double backoff = 0.5;
+  /// Growth factor applied after `growth_interval` clean outer cycles,
+  /// never beyond the initial scale (power of two).
+  double growth = 2.0;
+  int growth_interval = 4;
+  /// Overflows tolerated before the guard declares the solve lost.
+  int max_backoffs = 60;
+};
+
+class ScaleGuard {
+ public:
+  ScaleGuard() = default;
+  explicit ScaleGuard(ScaleGuardConfig cfg) : cfg_(cfg) {}
+
+  /// Choose the initial scale for demoting values of magnitude up to
+  /// `max_abs_value` into a format whose largest finite value is
+  /// `format_max_finite` (PrecisionTraits<T>::max_finite).
+  void initialize(double max_abs_value, double format_max_finite) {
+    init_scale_ = 1.0;
+    if (max_abs_value > cfg_.safety_fraction * format_max_finite &&
+        max_abs_value > 0.0 && std::isfinite(max_abs_value)) {
+      init_scale_ =
+          std::exp2(std::floor(std::log2(cfg_.target_max_abs / max_abs_value)));
+    }
+    scale_ = init_scale_;
+    good_cycles_ = 0;
+    backoffs_ = 0;
+  }
+
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double initial_scale() const { return init_scale_; }
+  [[nodiscard]] bool engaged() const { return init_scale_ != 1.0; }
+  [[nodiscard]] int overflow_count() const { return backoffs_; }
+  [[nodiscard]] bool exhausted() const {
+    return backoffs_ > cfg_.max_backoffs;
+  }
+
+  /// Record non-finite growth; the scale backs off by cfg_.backoff. The
+  /// caller re-demotes its operators to the new absolute scale()
+  /// (DistOperator::set_value_scale); the returned factor is informational.
+  [[nodiscard]] double on_overflow() {
+    ++backoffs_;
+    good_cycles_ = 0;
+    scale_ *= cfg_.backoff;
+    return cfg_.backoff;
+  }
+
+  /// Record a clean outer cycle. The scale regrows by cfg_.growth after
+  /// growth_interval clean cycles, never past the initial scale; callers
+  /// re-sync operators to scale(). Returns the applied factor.
+  [[nodiscard]] double on_good_cycle() {
+    if (scale_ >= init_scale_) {
+      return 1.0;
+    }
+    if (++good_cycles_ < cfg_.growth_interval) {
+      return 1.0;
+    }
+    good_cycles_ = 0;
+    scale_ *= cfg_.growth;
+    return cfg_.growth;
+  }
+
+ private:
+  ScaleGuardConfig cfg_;
+  double scale_ = 1.0;
+  double init_scale_ = 1.0;
+  int good_cycles_ = 0;
+  int backoffs_ = 0;
+};
+
+/// True when every value of `v` is finite after promotion to double —
+/// the non-finite detector the guard's caller runs over inner-basis and
+/// correction vectors.
+template <typename T>
+[[nodiscard]] bool all_finite(std::span<const T> v) {
+  for (const T& x : v) {
+    if (!std::isfinite(static_cast<double>(x))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hpgmx

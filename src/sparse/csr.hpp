@@ -74,8 +74,11 @@ struct CsrMatrix {
   }
 
   /// Deep-convert values to another precision (structure shared by copy).
+  /// `value_scale` is applied in the source precision before demotion — the
+  /// ScaleGuard's equilibration hook for narrow-exponent targets; the
+  /// default 1.0 reproduces a plain conversion bit for bit.
   template <typename U>
-  [[nodiscard]] CsrMatrix<U> convert() const {
+  [[nodiscard]] CsrMatrix<U> convert(double value_scale = 1.0) const {
     CsrMatrix<U> out;
     out.num_rows = num_rows;
     out.num_cols = num_cols;
@@ -84,11 +87,12 @@ struct CsrMatrix {
     out.col_idx = col_idx;
     out.values.resize(values.size());
     for (std::size_t i = 0; i < values.size(); ++i) {
-      out.values[i] = static_cast<U>(values[i]);
+      out.values[i] =
+          static_cast<U>(static_cast<double>(values[i]) * value_scale);
     }
     out.diag.resize(diag.size());
     for (std::size_t i = 0; i < diag.size(); ++i) {
-      out.diag[i] = static_cast<U>(diag[i]);
+      out.diag[i] = static_cast<U>(static_cast<double>(diag[i]) * value_scale);
     }
     out.diag_pos = diag_pos;
     return out;

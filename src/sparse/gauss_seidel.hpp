@@ -30,7 +30,7 @@ template <typename T>
 void gs_sweep_sequential(const CsrMatrix<T>& a, std::span<const T> r,
                          std::span<T> z) {
   for (local_index_t row = 0; row < a.num_rows; ++row) {
-    T acc = r[static_cast<std::size_t>(row)];
+    accum_t<T> acc = r[static_cast<std::size_t>(row)];
     const auto cols = a.row_cols(row);
     const auto vals = a.row_vals(row);
     for (std::size_t p = 0; p < cols.size(); ++p) {
@@ -58,7 +58,7 @@ void gs_sweep_reference(const CsrMatrix<T>& a, const RowPartition& levels,
   T* __restrict tv = t.data();
 #pragma omp parallel for schedule(static)
   for (local_index_t row = 0; row < a.num_rows; ++row) {
-    T acc = rv[row];
+    accum_t<T> acc = rv[row];
     for (std::int64_t p = rp[row]; p < rp[row + 1]; ++p) {
       const local_index_t c = ci[p];
       if (c > row) {  // strict upper; halo columns satisfy c >= num_rows > row
@@ -79,7 +79,7 @@ template <typename T>
 inline T gs_row_update(const std::int64_t* rp, const local_index_t* ci,
                        const T* av, const T* dv, const T* rv, const T* zv,
                        local_index_t row) {
-  T acc = rv[row];
+  accum_t<T> acc = rv[row];
   for (std::int64_t p = rp[row]; p < rp[row + 1]; ++p) {
     acc -= av[p] * zv[ci[p]];
   }
@@ -90,7 +90,7 @@ template <typename T>
 inline T gs_row_update_ell(const local_index_t n, const local_index_t slots,
                            const local_index_t* ci, const T* av, const T* dv,
                            const T* rv, const T* zv, local_index_t row) {
-  T acc = rv[row];
+  accum_t<T> acc = rv[row];
   for (local_index_t s = 0; s < slots; ++s) {
     const std::size_t at =
         static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
@@ -122,7 +122,7 @@ void gs_update_rows_ell_blocked(const local_index_t n,
   for (std::size_t blk = 0; blk < nblocks; ++blk) {
     const std::size_t k0 = blk * kGsBlockRows;
     const std::size_t k1 = std::min(nk, k0 + kGsBlockRows);
-    T acc[kGsBlockRows];
+    accum_t<T> acc[kGsBlockRows];
     for (std::size_t k = k0; k < k1; ++k) {
       acc[k - k0] = rv[rows[k]];
     }

@@ -28,7 +28,7 @@ void csr_spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y) {
   T* __restrict yv = y.data();
 #pragma omp parallel for schedule(static)
   for (local_index_t r = 0; r < a.num_rows; ++r) {
-    T acc = T(0);
+    accum_t<T> acc = accum_t<T>(0);
     for (std::int64_t p = rp[r]; p < rp[r + 1]; ++p) {
       acc += av[p] * xv[ci[p]];
     }
@@ -48,7 +48,7 @@ void csr_spmv_rows(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
 #pragma omp parallel for schedule(static)
   for (std::size_t k = 0; k < rows.size(); ++k) {
     const local_index_t r = rows[k];
-    T acc = T(0);
+    accum_t<T> acc = accum_t<T>(0);
     for (std::int64_t p = rp[r]; p < rp[r + 1]; ++p) {
       acc += av[p] * xv[ci[p]];
     }
@@ -79,16 +79,20 @@ void ell_spmv(const EllMatrix<T>& a, std::span<const T> x, std::span<T> y) {
   for (local_index_t blk = 0; blk < nblocks; ++blk) {
     const local_index_t r0 = blk * detail::kEllBlockRows;
     const local_index_t r1 = std::min(n, r0 + detail::kEllBlockRows);
+    accum_t<T> acc[detail::kEllBlockRows];
     for (local_index_t r = r0; r < r1; ++r) {
-      yv[r] = T(0);
+      acc[r - r0] = accum_t<T>(0);
     }
     for (local_index_t s = 0; s < a.slots; ++s) {
       const std::size_t base = static_cast<std::size_t>(s) *
                                static_cast<std::size_t>(n);
       for (local_index_t r = r0; r < r1; ++r) {
-        yv[r] += av[base + static_cast<std::size_t>(r)] *
-                 xv[ci[base + static_cast<std::size_t>(r)]];
+        acc[r - r0] += av[base + static_cast<std::size_t>(r)] *
+                       xv[ci[base + static_cast<std::size_t>(r)]];
       }
+    }
+    for (local_index_t r = r0; r < r1; ++r) {
+      yv[r] = acc[r - r0];
     }
   }
 }
@@ -112,9 +116,9 @@ void ell_spmv_rows(const EllMatrix<T>& a, std::span<const T> x, std::span<T> y,
   for (std::size_t blk = 0; blk < nblocks; ++blk) {
     const std::size_t k0 = blk * block;
     const std::size_t k1 = std::min(nk, k0 + block);
-    T acc[detail::kEllBlockRows];
+    accum_t<T> acc[detail::kEllBlockRows];
     for (std::size_t k = k0; k < k1; ++k) {
-      acc[k - k0] = T(0);
+      acc[k - k0] = accum_t<T>(0);
     }
     for (local_index_t s = 0; s < a.slots; ++s) {
       const std::size_t base =
@@ -143,7 +147,7 @@ void csr_residual(const CsrMatrix<T>& a, std::span<const T> b,
   T* __restrict rv = r.data();
 #pragma omp parallel for schedule(static)
   for (local_index_t row = 0; row < a.num_rows; ++row) {
-    T acc = bv[row];
+    accum_t<T> acc = bv[row];
     for (std::int64_t p = rp[row]; p < rp[row + 1]; ++p) {
       acc -= av[p] * xv[ci[p]];
     }
@@ -169,7 +173,7 @@ void fused_restrict_residual(const CsrMatrix<T>& a_fine, std::span<const T> b,
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < c2f.size(); ++i) {
     const local_index_t fr = c2f[i];
-    T acc = bv[fr];
+    accum_t<T> acc = bv[fr];
     for (std::int64_t p = rp[fr]; p < rp[fr + 1]; ++p) {
       acc -= av[p] * xv[ci[p]];
     }
@@ -195,7 +199,7 @@ void fused_restrict_residual_subset(const CsrMatrix<T>& a_fine,
   for (std::size_t k = 0; k < coarse_ids.size(); ++k) {
     const local_index_t i = coarse_ids[k];
     const local_index_t fr = c2f[static_cast<std::size_t>(i)];
-    T acc = bv[fr];
+    accum_t<T> acc = bv[fr];
     for (std::int64_t p = rp[fr]; p < rp[fr + 1]; ++p) {
       acc -= av[p] * xv[ci[p]];
     }

@@ -44,7 +44,7 @@ void sptrsv_lower_levels(const CsrMatrix<T>& a, const RowPartition& levels,
 #pragma omp parallel for schedule(static)
     for (std::size_t k = 0; k < rows.size(); ++k) {
       const local_index_t r = rows[k];
-      T acc = tv[r];
+      accum_t<T> acc = tv[r];
       for (std::int64_t p = rp[r]; p < rp[r + 1]; ++p) {
         const local_index_t c = ci[p];
         if (c < r) {

@@ -1,0 +1,476 @@
+// Precision subsystem tests: bf16/fp16 conversion layer (round-trips, RNE
+// tie cases, inf/NaN propagation, subnormals), PrecisionTraits/wider_t
+// interplay, 16-bit collectives through SelfComm and ThreadComm, ScaleGuard
+// policy, and the GMRES-IR convergence claims (bf16 reaches the double
+// target; fp16 needs the guard on a badly scaled system).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "comm/thread_comm.hpp"
+#include "core/dist_operator.hpp"
+#include "core/gmres_ir.hpp"
+#include "core/multigrid.hpp"
+#include "grid/problem.hpp"
+#include "precision/float16.hpp"
+#include "precision/precision.hpp"
+#include "precision/scale_guard.hpp"
+
+namespace hpgmx {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// ---------------------------------------------------------------------------
+// Conversion layer
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, -2.75f, 256.0f, 0x1p100f,
+                        -0x1p-100f, 0.00390625f}) {
+    EXPECT_EQ(static_cast<float>(bf16_t(v)), v) << v;
+  }
+}
+
+TEST(Bf16, AllBitPatternsRoundTrip) {
+  // bf16 -> float -> bf16 must be the identity for every finite pattern and
+  // map NaNs to NaNs.
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const bf16_t x = bf16_t::from_bits(bits);
+    const float f = static_cast<float>(x);
+    if (std::isnan(f)) {
+      EXPECT_TRUE(std::isnan(static_cast<float>(bf16_t(f))));
+      continue;
+    }
+    EXPECT_EQ(bf16_t(f).bits, bits) << "pattern " << b;
+  }
+}
+
+TEST(Fp16, AllBitPatternsRoundTrip) {
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const fp16_t x = fp16_t::from_bits(bits);
+    const float f = static_cast<float>(x);
+    if (std::isnan(f)) {
+      EXPECT_TRUE(std::isnan(static_cast<float>(fp16_t(f))));
+      continue;
+    }
+    EXPECT_EQ(fp16_t(f).bits, bits) << "pattern " << b;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1 + 2^-8 lies exactly between 1.0 (mantissa 0, even) and 1 + 2^-7:
+  // ties go to the even mantissa.
+  EXPECT_EQ(static_cast<float>(bf16_t(1.0f + 0x1p-8f)), 1.0f);
+  // 1 + 3*2^-8 lies between 1 + 2^-7 (odd) and 1 + 2^-6 (even).
+  EXPECT_EQ(static_cast<float>(bf16_t(1.0f + 3 * 0x1p-8f)), 1.0f + 0x1p-6f);
+  // Just above/below the tie rounds to nearest.
+  EXPECT_EQ(static_cast<float>(bf16_t(1.0f + 0x1p-8f + 0x1p-16f)),
+            1.0f + 0x1p-7f);
+  EXPECT_EQ(static_cast<float>(bf16_t(1.0f + 0x1p-8f - 0x1p-16f)), 1.0f);
+}
+
+TEST(Fp16, RoundsToNearestEven) {
+  // 1 + 2^-11 ties between 1.0 (even) and 1 + 2^-10.
+  EXPECT_EQ(static_cast<float>(fp16_t(1.0f + 0x1p-11f)), 1.0f);
+  // 1 + 3*2^-11 ties between 1 + 2^-10 (odd) and 1 + 2^-9 (even).
+  EXPECT_EQ(static_cast<float>(fp16_t(1.0f + 3 * 0x1p-11f)), 1.0f + 0x1p-9f);
+  EXPECT_EQ(static_cast<float>(fp16_t(1.0f + 0x1p-11f + 0x1p-20f)),
+            1.0f + 0x1p-10f);
+}
+
+TEST(Fp16, OverflowAndMax) {
+  EXPECT_EQ(static_cast<float>(fp16_t(65504.0f)), 65504.0f);  // largest finite
+  EXPECT_EQ(static_cast<float>(fp16_t(65536.0f)), kInf);
+  EXPECT_EQ(static_cast<float>(fp16_t(1.0e8f)), kInf);
+  EXPECT_EQ(static_cast<float>(fp16_t(-1.0e8f)), -kInf);
+  // 65520 ties between 65504 and 65536; IEEE RNE overflows to inf.
+  EXPECT_EQ(static_cast<float>(fp16_t(65520.0f)), kInf);
+  EXPECT_EQ(static_cast<float>(fp16_t(65519.0f)), 65504.0f);
+}
+
+TEST(Fp16, SubnormalsAndUnderflow) {
+  // Smallest subnormal is 2^-24; 2^-25 ties to zero (even).
+  EXPECT_EQ(static_cast<float>(fp16_t(0x1p-24f)), 0x1p-24f);
+  EXPECT_EQ(static_cast<float>(fp16_t(0x1p-25f)), 0.0f);
+  EXPECT_EQ(static_cast<float>(fp16_t(0x1p-25f * 1.5f)), 0x1p-24f);
+  EXPECT_EQ(static_cast<float>(fp16_t(0x1p-26f)), 0.0f);
+  // Smallest normal.
+  EXPECT_EQ(static_cast<float>(fp16_t(0x1p-14f)), 0x1p-14f);
+  // Sign of zero survives.
+  EXPECT_TRUE(std::signbit(static_cast<float>(fp16_t(-0x1p-30f))));
+}
+
+TEST(Float16, InfAndNanPropagate) {
+  EXPECT_EQ(static_cast<float>(bf16_t(kInf)), kInf);
+  EXPECT_EQ(static_cast<float>(bf16_t(-kInf)), -kInf);
+  EXPECT_TRUE(std::isnan(static_cast<float>(
+      bf16_t(std::numeric_limits<float>::quiet_NaN()))));
+  EXPECT_EQ(static_cast<float>(fp16_t(kInf)), kInf);
+  EXPECT_EQ(static_cast<float>(fp16_t(-kInf)), -kInf);
+  EXPECT_TRUE(std::isnan(static_cast<float>(
+      fp16_t(std::numeric_limits<float>::quiet_NaN()))));
+  // bf16 overflow saturates to inf: FLT_MAX's mantissa rounds up past the
+  // largest bf16 (exponent 254, mantissa 0x7f).
+  EXPECT_EQ(static_cast<float>(bf16_t(std::numeric_limits<float>::max())),
+            kInf);
+}
+
+TEST(Float16, ArithmeticPromotesThroughFloat) {
+  const bf16_t a(1.5f);
+  const bf16_t b(0.25f);
+  static_assert(std::is_same_v<decltype(a * b), float>);
+  EXPECT_EQ(a * b, 0.375f);
+  bf16_t acc(1.0f);
+  acc += 0.5f;
+  EXPECT_EQ(static_cast<float>(acc), 1.5f);
+  acc /= 3.0f;  // result rounds to bf16
+  EXPECT_NEAR(static_cast<float>(acc), 0.5f, 0.5f * 0x1p-7f);
+  const fp16_t c(2.0f);
+  EXPECT_EQ(c * c, 4.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Traits and type algebra
+
+TEST(PrecisionTraits, SixteenBitFormats) {
+  static_assert(is_supported_value_v<bf16_t>);
+  static_assert(is_supported_value_v<fp16_t>);
+  static_assert(PrecisionTraits<bf16_t>::bytes == 2);
+  static_assert(PrecisionTraits<fp16_t>::bytes == 2);
+  EXPECT_EQ(PrecisionTraits<bf16_t>::name, "bf16");
+  EXPECT_EQ(PrecisionTraits<fp16_t>::name, "fp16");
+  EXPECT_EQ(static_cast<float>(PrecisionTraits<bf16_t>::unit_roundoff),
+            0x1p-8f);
+  EXPECT_EQ(static_cast<float>(PrecisionTraits<fp16_t>::unit_roundoff),
+            0x1p-11f);
+  EXPECT_EQ(PrecisionTraits<fp16_t>::max_finite, 65504.0);
+  // bf16 max: exponent 254, mantissa 0x7f.
+  EXPECT_EQ(PrecisionTraits<bf16_t>::max_finite,
+            static_cast<double>(static_cast<float>(bf16_t::from_bits(0x7f7f))));
+}
+
+TEST(PrecisionTraits, WiderAndAccumInterplay) {
+  // Mixed kernels accumulate in the wider storage type; 16-bit formats are
+  // narrower than everything hardware.
+  static_assert(std::is_same_v<wider_t<bf16_t, float>, float>);
+  static_assert(std::is_same_v<wider_t<double, fp16_t>, double>);
+  static_assert(std::is_same_v<wider_t<bf16_t, fp16_t>, bf16_t>);  // tie: first
+  // Running sums over 16-bit values promote through float.
+  static_assert(std::is_same_v<accum_t<bf16_t>, float>);
+  static_assert(std::is_same_v<accum_t<fp16_t>, float>);
+  static_assert(std::is_same_v<accum_t<float>, float>);
+  static_assert(std::is_same_v<accum_t<double>, double>);
+}
+
+TEST(PrecisionEnum, ParseAndName) {
+  EXPECT_EQ(parse_precision("bf16"), Precision::Bf16);
+  EXPECT_EQ(parse_precision("FP16"), Precision::Fp16);
+  EXPECT_EQ(parse_precision("half"), Precision::Fp16);
+  EXPECT_EQ(parse_precision("float"), Precision::Fp32);
+  EXPECT_EQ(parse_precision("double"), Precision::Fp64);
+  EXPECT_FALSE(parse_precision("fp8").has_value());
+  EXPECT_EQ(precision_name(Precision::Bf16), "bf16");
+  const auto bytes = dispatch_precision(
+      Precision::Fp16, [](auto tag) {
+        return PrecisionTraits<typename decltype(tag)::type>::bytes;
+      });
+  EXPECT_EQ(bytes, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// 16-bit payloads through the communicators
+
+TEST(Comm16Bit, SelfCommAllreduceAndAllgather) {
+  SelfComm comm;
+  const bf16_t in[3] = {bf16_t(1.5f), bf16_t(-2.0f), bf16_t(0.25f)};
+  bf16_t out[3] = {};
+  comm.allreduce(std::span<const bf16_t>(in, 3), std::span<bf16_t>(out, 3),
+                 ReduceOp::Sum);
+  EXPECT_EQ(static_cast<float>(out[0]), 1.5f);
+  EXPECT_EQ(static_cast<float>(out[1]), -2.0f);
+  fp16_t gathered[2] = {};
+  const fp16_t mine[2] = {fp16_t(3.0f), fp16_t(4.0f)};
+  comm.allgather(std::span<const fp16_t>(mine, 2),
+                 std::span<fp16_t>(gathered, 2));
+  EXPECT_EQ(static_cast<float>(gathered[1]), 4.0f);
+}
+
+TEST(Comm16Bit, ThreadCommMovesTwoBytePayloads) {
+  constexpr int kRanks = 4;
+  ThreadCommWorld::execute(kRanks, [](Comm& comm) {
+    // Allreduce: sum of rank+1 halves over all ranks; exact in fp16.
+    const fp16_t mine(static_cast<float>(comm.rank() + 1) * 0.5f);
+    fp16_t sum{};
+    comm.allreduce(std::span<const fp16_t>(&mine, 1),
+                   std::span<fp16_t>(&sum, 1), ReduceOp::Sum);
+    EXPECT_EQ(static_cast<float>(sum), 5.0f);  // (1+2+3+4)/2
+
+    const bf16_t big(static_cast<float>(comm.rank()));
+    const bf16_t mx = comm.allreduce_scalar(big, ReduceOp::Max);
+    EXPECT_EQ(static_cast<float>(mx), 3.0f);
+
+    // Allgather: every rank contributes two bf16 values.
+    const bf16_t in[2] = {bf16_t(static_cast<float>(comm.rank())),
+                          bf16_t(-static_cast<float>(comm.rank()))};
+    bf16_t all[2 * kRanks] = {};
+    comm.allgather(std::span<const bf16_t>(in, 2),
+                   std::span<bf16_t>(all, 2 * kRanks));
+    for (int r = 0; r < kRanks; ++r) {
+      EXPECT_EQ(static_cast<float>(all[2 * r]), static_cast<float>(r));
+      EXPECT_EQ(static_cast<float>(all[2 * r + 1]), -static_cast<float>(r));
+    }
+
+    // Point-to-point ring: payload is 2 bytes/value on the wire.
+    const int next = (comm.rank() + 1) % kRanks;
+    const int prev = (comm.rank() + kRanks - 1) % kRanks;
+    const fp16_t tx(static_cast<float>(comm.rank()) + 0.5f);
+    fp16_t rx{};
+    Request rreq = comm.irecv(prev, /*tag=*/7, std::span<fp16_t>(&rx, 1));
+    comm.send(next, /*tag=*/7, std::span<const fp16_t>(&tx, 1));
+    rreq.wait();
+    EXPECT_EQ(static_cast<float>(rx), static_cast<float>(prev) + 0.5f);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ScaleGuard policy
+
+ProblemHierarchy make_hierarchy(local_index_t n, const BenchParams& params) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = n;
+  pp.gamma = params.gamma;
+  return build_hierarchy(generate_problem(ProcessGrid(1, 1, 1), 0, pp),
+                         params.mg_levels, params.coloring_seed);
+}
+
+
+TEST(ScaleGuard, StaysDormantForWellScaledValues) {
+  ScaleGuard g;
+  g.initialize(26.0, PrecisionTraits<fp16_t>::max_finite);
+  EXPECT_EQ(g.scale(), 1.0);
+  EXPECT_FALSE(g.engaged());
+  g.initialize(26.0e9, PrecisionTraits<bf16_t>::max_finite);
+  EXPECT_EQ(g.scale(), 1.0);  // bf16's range absorbs 2.6e10 easily
+}
+
+TEST(ScaleGuard, EquilibratesToPowerOfTwoNearOne) {
+  ScaleGuard g;
+  g.initialize(2.6e10, PrecisionTraits<fp16_t>::max_finite);
+  EXPECT_TRUE(g.engaged());
+  const double s = g.scale();
+  EXPECT_EQ(std::exp2(std::round(std::log2(s))), s);  // power of two
+  EXPECT_GT(2.6e10 * s, 0.25);  // lands within [target/2, target]
+  EXPECT_LE(2.6e10 * s, 1.0);
+}
+
+TEST(ScaleGuard, BacksOffAndRegrowsToInitialCap) {
+  ScaleGuardConfig cfg;
+  cfg.growth_interval = 2;
+  ScaleGuard g(cfg);
+  g.initialize(1.0e6, PrecisionTraits<fp16_t>::max_finite);
+  const double init = g.initial_scale();
+  EXPECT_EQ(g.on_overflow(), 0.5);
+  EXPECT_EQ(g.scale(), init * 0.5);
+  EXPECT_EQ(g.on_overflow(), 0.5);
+  EXPECT_EQ(g.scale(), init * 0.25);
+  // Two clean cycles per growth step, never past the initial scale.
+  EXPECT_EQ(g.on_good_cycle(), 1.0);
+  EXPECT_EQ(g.on_good_cycle(), 2.0);
+  EXPECT_EQ(g.scale(), init * 0.5);
+  EXPECT_EQ(g.on_good_cycle(), 1.0);
+  EXPECT_EQ(g.on_good_cycle(), 2.0);
+  EXPECT_EQ(g.scale(), init);
+  EXPECT_EQ(g.on_good_cycle(), 1.0);  // capped at the initial scale
+  EXPECT_EQ(g.scale(), init);
+  EXPECT_FALSE(g.exhausted());
+}
+
+TEST(ScaleGuard, SetValueScaleRedemotesFromSourceAndIsIdempotent) {
+  // Backoff/regrow must re-demote from the double source: multiplying the
+  // rounded fp16 payload in place would destroy subnormal-range entries on
+  // every round trip, and a second application of the same absolute scale
+  // (GmresIr's a_low aliases the multigrid fine level) must be a no-op.
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(8, params);
+  DistOperator<fp16_t> op(h.levels[0].a, h.structures[0].get(), params.opt,
+                          /*tag=*/50, /*value_scale=*/0x1p-25);
+  // diag 26 * 2^-25 = 13 * 2^-24: an *odd* multiple of fp16's subnormal
+  // step. In-place halving would round it to 6 * 2^-24 and regrow to
+  // 12 * 2^-24 — off by one unit forever; re-demotion restores 13 exactly.
+  const AlignedVector<fp16_t> original = op.csr().values;
+  op.set_value_scale(0x1p-26);  // back off
+  op.set_value_scale(0x1p-26);  // aliased second application: no-op
+  EXPECT_EQ(op.value_scale(), 0x1p-26);
+  op.set_value_scale(0x1p-25);  // regrow to the initial scale
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(op.csr().values[i].bits, original[i].bits) << "entry " << i;
+  }
+}
+
+TEST(ScaleGuard, AllFiniteDetector) {
+  AlignedVector<fp16_t> v(64, fp16_t(1.0f));
+  EXPECT_TRUE(all_finite(std::span<const fp16_t>(v.data(), v.size())));
+  v[17] = fp16_t(1.0e8f);  // demotes to inf
+  EXPECT_FALSE(all_finite(std::span<const fp16_t>(v.data(), v.size())));
+}
+
+// ---------------------------------------------------------------------------
+// GMRES-IR convergence at 16-bit inner precision
+
+/// Multiply the whole system (A, b) by `s` on every level: the solution is
+/// unchanged (still the ones vector) but the matrix entries leave fp16's
+/// finite range when s is large.
+void scale_system(ProblemHierarchy& h, double s) {
+  for (Problem& lvl : h.levels) {
+    for (double& v : lvl.a.values) {
+      v *= s;
+    }
+    for (double& v : lvl.a.diag) {
+      v *= s;
+    }
+    for (double& v : lvl.b) {
+      v *= s;
+    }
+  }
+}
+
+template <typename TLow>
+SolveResult solve_ir(const ProblemHierarchy& h, bool use_guard,
+                     std::span<double> x, int max_iters = 3000) {
+  BenchParams params;
+  SelfComm comm;
+  SolverOptions opts;
+  opts.max_iters = max_iters;
+  opts.tol = 1e-9;
+  ScaleGuard guard;
+  guard.initialize(hierarchy_max_abs_value(h),
+                   PrecisionTraits<TLow>::max_finite);
+  Multigrid<TLow> mg(h, params, /*tag_base=*/100,
+                     use_guard ? guard.scale() : 1.0);
+  DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(), params.opt,
+                           /*tag=*/90);
+  GmresIr<TLow> solver(&a_d, &mg.level_op(0), &mg, opts);
+  if (use_guard) {
+    solver.set_scale_guard(&guard);
+  }
+  return solver.solve(
+      comm,
+      std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()), x);
+}
+
+TEST(GmresIr16Bit, Bf16ReachesDoubleTarget) {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res =
+      solve_ir<bf16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.relative_residual, 1e-9);
+  for (const double v : x) {
+    ASSERT_NEAR(v, 1.0, 1e-5);
+  }
+}
+
+TEST(GmresIr16Bit, Fp16ReachesDoubleTargetWhenWellScaled) {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res =
+      solve_ir<fp16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.relative_residual, 1e-9);
+}
+
+TEST(GmresIr16Bit, Fp16OverflowsOnBadlyScaledSystemWithoutGuard) {
+  // Matrix entries ~2.6e10 demote to inf in fp16: the inner basis turns
+  // non-finite immediately and the solver must report failure (without
+  // poisoning x or burning the whole iteration budget).
+  BenchParams params;
+  ProblemHierarchy h = make_hierarchy(16, params);
+  scale_system(h, 1.0e9);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res =
+      solve_ir<fp16_t>(h, /*use_guard=*/false, {x.data(), x.size()},
+                       /*max_iters=*/500);
+  EXPECT_FALSE(res.converged);
+  for (const double v : x) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GmresIr16Bit, Fp16ConvergesOnBadlyScaledSystemWithGuard) {
+  BenchParams params;
+  ProblemHierarchy h = make_hierarchy(16, params);
+  scale_system(h, 1.0e9);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res =
+      solve_ir<fp16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.relative_residual, 1e-9);
+  for (const double v : x) {
+    ASSERT_NEAR(v, 1.0, 1e-5);
+  }
+}
+
+TEST(GmresIr16Bit, Bf16UnaffectedByBadScaling) {
+  // bf16 keeps fp32's exponent range: 2.6e10 is representable, the guard
+  // stays dormant, and convergence matches the well-scaled case.
+  BenchParams params;
+  ProblemHierarchy h = make_hierarchy(16, params);
+  scale_system(h, 1.0e9);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult res =
+      solve_ir<bf16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(GmresIr16Bit, DistributedBf16SolveAgreesAcrossRanks) {
+  // 16-bit halo exchange + CGS2 allreduces through ThreadComm: the solve
+  // must converge and all ranks must agree on the iteration count.
+  constexpr int kRanks = 2;
+  const ProcessGrid pgrid = ProcessGrid::create(kRanks);
+  ProblemParams pp;
+  pp.nx = static_cast<local_index_t>(16 / pgrid.px());
+  pp.ny = static_cast<local_index_t>(16 / pgrid.py());
+  pp.nz = static_cast<local_index_t>(16 / pgrid.pz());
+  BenchParams params;
+  params.mg_levels = 2;
+  SolverOptions opts;
+  opts.max_iters = 3000;
+  opts.tol = 1e-9;
+
+  std::vector<SolveResult> results(kRanks);
+  ThreadCommWorld::execute(kRanks, [&](Comm& comm) {
+    const ProblemHierarchy h =
+        build_hierarchy(generate_problem(pgrid, comm.rank(), pp),
+                        params.mg_levels, params.coloring_seed);
+    ScaleGuard guard;
+    guard.initialize(
+        comm.allreduce_scalar(hierarchy_max_abs_value(h), ReduceOp::Max),
+        PrecisionTraits<bf16_t>::max_finite);
+    Multigrid<bf16_t> mg(h, params, /*tag_base=*/100, guard.scale());
+    DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(), params.opt,
+                             /*tag=*/90);
+    GmresIr<bf16_t> solver(&a_d, &mg.level_op(0), &mg, opts);
+    solver.set_scale_guard(&guard);
+    AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+    results[static_cast<std::size_t>(comm.rank())] = solver.solve(
+        comm,
+        std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+        std::span<double>(x.data(), x.size()));
+    for (const double v : x) {
+      ASSERT_NEAR(v, 1.0, 1e-5);
+    }
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(results[static_cast<std::size_t>(r)].converged);
+    EXPECT_EQ(results[static_cast<std::size_t>(r)].iterations,
+              results[0].iterations);
+  }
+}
+
+}  // namespace
+}  // namespace hpgmx

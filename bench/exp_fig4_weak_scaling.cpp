@@ -8,24 +8,32 @@
 // shared: per-rank numbers scale down with P by construction — shape only);
 // (b) measured single-rank iteration profiles projected through the
 // Frontier machine model over the paper's node counts.
+//
+//   $ ./exp_fig4_weak_scaling [--json]   # --json: machine-readable report
 #include <cmath>
+#include <vector>
 
 #include "comm/thread_comm.hpp"
 #include "exhibit_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
                                               /*seconds=*/1.0);
-  banner("EXP fig4 weak-scaling (paper Fig. 4)",
-         "present: ~flat to 1024 nodes, 78% efficiency at 9408 nodes "
-         "(17.23 PF total); xsdk: ~5-7x lower, flat");
+  if (!json) {
+    banner("EXP fig4 weak-scaling (paper Fig. 4)",
+           "present: ~flat to 1024 nodes, 78% efficiency at 9408 nodes "
+           "(17.23 PF total); xsdk: ~5-7x lower, flat");
+  }
 
   // --- measure single-rank per-iteration profiles on both code paths -----
   double opt_overlap = 0.95;  // measured separately by exp_fig9_trace
   IterationProfile prof_present, prof_xsdk;
   double flops_per_iter = 0;
+  double present_ms_per_iter = 0;
+  double xsdk_ms_per_iter = 0;
   {
     BenchParams p = cfg.params;
     p.opt = OptLevel::Optimized;
@@ -33,8 +41,11 @@ int main() {
     const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
     prof_present = iteration_profile_from_phase(mxp, p, 1, opt_overlap);
     flops_per_iter = prof_present.flops;
-    std::printf("measured optimized mxp: %.3f ms/iter, %.1f MFLOP/iter\n",
-                prof_present.local_seconds * 1e3, flops_per_iter * 1e-6);
+    present_ms_per_iter = prof_present.local_seconds * 1e3;
+    if (!json) {
+      std::printf("measured optimized mxp: %.3f ms/iter, %.1f MFLOP/iter\n",
+                  present_ms_per_iter, flops_per_iter * 1e-6);
+    }
   }
   {
     BenchParams p = cfg.params;
@@ -42,21 +53,31 @@ int main() {
     BenchmarkDriver driver(p, 1);
     const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
     prof_xsdk = iteration_profile_from_phase(mxp, p, 1, /*overlap=*/0.0);
-    std::printf("measured reference mxp: %.3f ms/iter (xsdk path)\n\n",
-                prof_xsdk.local_seconds * 1e3);
+    xsdk_ms_per_iter = prof_xsdk.local_seconds * 1e3;
+    if (!json) {
+      std::printf("measured reference mxp: %.3f ms/iter (xsdk path)\n\n",
+                  xsdk_ms_per_iter);
+    }
   }
 
   // --- (a) real multi-rank runs on this host ------------------------------
-  std::printf("real virtual-rank runs (time-shared on this host; per-rank\n"
-              "throughput divides by P — read the *shape*, not the level):\n");
-  std::printf("%8s %14s %14s\n", "ranks", "GF/s total", "GF/s per rank");
-  for (const int p : {1, 2, 4, 8}) {
+  if (!json) {
+    std::printf("real virtual-rank runs (time-shared on this host; per-rank\n"
+                "throughput divides by P — read the *shape*, not the level):\n");
+    std::printf("%8s %14s %14s\n", "ranks", "GF/s total", "GF/s per rank");
+  }
+  std::vector<int> real_ranks{1, 2, 4, 8};
+  std::vector<double> real_gflops;
+  for (const int p : real_ranks) {
     BenchParams bp = cfg.params;
     bp.bench_seconds = cfg.params.bench_seconds / 2;
     BenchmarkDriver driver(bp, p);
     const PhaseResult mxp = driver.run_phase(true);
-    std::printf("%8d %14.3f %14.3f\n", p, mxp.raw_gflops,
-                mxp.raw_gflops / p);
+    real_gflops.push_back(mxp.raw_gflops);
+    if (!json) {
+      std::printf("%8d %14.3f %14.3f\n", p, mxp.raw_gflops,
+                  mxp.raw_gflops / p);
+    }
   }
 
   // --- (b) machine-model projection over the paper's scale ---------------
@@ -82,6 +103,42 @@ int main() {
   const auto pts_present =
       project_weak_scaling(frontier, prof_present, nodes);
   const auto pts_xsdk = project_weak_scaling(frontier, prof_xsdk, nodes);
+  const double full_pf = pts_present.back().gflops_per_rank *
+                         static_cast<double>(pts_present.back().ranks) * 1e-6;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"fig4_weak_scaling\",\n");
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"measured_ms_per_iter\": {\"present\": %.6g, "
+                "\"xsdk\": %.6g},\n",
+                present_ms_per_iter, xsdk_ms_per_iter);
+    std::printf("  \"real_runs\": [\n");
+    for (std::size_t i = 0; i < real_ranks.size(); ++i) {
+      std::printf("    {\"ranks\": %d, \"gflops_total\": %.6g, "
+                  "\"gflops_per_rank\": %.6g}%s\n",
+                  real_ranks[i], real_gflops[i],
+                  real_gflops[i] / real_ranks[i],
+                  i + 1 < real_ranks.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"frontier_projection\": [\n");
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::printf("    {\"nodes\": %d, \"present_gflops_per_gcd\": %.6g, "
+                  "\"xsdk_gflops_per_gcd\": %.6g, "
+                  "\"present_efficiency\": %.6g}%s\n",
+                  pts_present[i].nodes, pts_present[i].gflops_per_rank,
+                  pts_xsdk[i].gflops_per_rank, pts_present[i].efficiency,
+                  i + 1 < nodes.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"projected_full_system_pf\": %.6g,\n", full_pf);
+    std::printf("  \"paper_full_system_pf\": 17.23\n");
+    std::printf("}\n");
+    return 0;
+  }
+
   std::printf("\nFrontier-model projection (GF/s per GCD, mxp):\n");
   std::printf("%8s %12s %12s %12s\n", "nodes", "present", "xsdk",
               "present eff");
@@ -90,8 +147,6 @@ int main() {
                 pts_present[i].gflops_per_rank, pts_xsdk[i].gflops_per_rank,
                 pts_present[i].efficiency * 100.0);
   }
-  const double full_pf = pts_present.back().gflops_per_rank *
-                         static_cast<double>(pts_present.back().ranks) * 1e-6;
   std::printf("\nprojected full-system: %.2f PF  (paper: 17.23 PF at 9408 "
               "nodes, 78%% weak-scaling efficiency)\n",
               full_pf);

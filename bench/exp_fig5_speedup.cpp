@@ -5,19 +5,31 @@
 // Paper: present total ≈ 1.6x (vs theoretical 2x), Ortho ≈ 2x (dense BLAS-2
 // benefits fully), GS/SpMV lower (index arrays don't shrink with
 // precision), xsdk substantially lower overall.
+//
+//   $ ./exp_fig5_speedup [--json]   # --json: machine-readable report
 #include "exhibit_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
                                               /*seconds=*/1.0);
-  banner("EXP fig5 motif speedups (paper Fig. 5)",
-         "present: total 1.6x, Ortho ~2x, GS/SpMV ~1.4-1.5x; xsdk lower");
+  if (!json) {
+    banner("EXP fig5 motif speedups (paper Fig. 5)",
+           "present: total 1.6x, Ortho ~2x, GS/SpMV ~1.4-1.5x; xsdk lower");
+  } else {
+    std::printf("{\n  \"exhibit\": \"fig5_motif_speedup\",\n");
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"paths\": [\n");
+  }
 
   const Motif motifs[] = {Motif::GS, Motif::Ortho, Motif::SpMV,
                           Motif::Restrict};
-  for (const OptLevel opt : {OptLevel::Optimized, OptLevel::Reference}) {
+  const OptLevel opts_sweep[] = {OptLevel::Optimized, OptLevel::Reference};
+  for (std::size_t oi = 0; oi < std::size(opts_sweep); ++oi) {
+    const OptLevel opt = opts_sweep[oi];
     BenchParams p = cfg.params;
     p.opt = opt;
     // Small validation problem keeps the harness quick; the penalty feeds
@@ -30,14 +42,43 @@ int main() {
     report.validation = driver.run_validation(ValidationMode::Standard);
     report.mxp = driver.run_phase(true);
     report.dbl = driver.run_phase(false);
+    const double pen = report.validation.penalty();
+
+    if (json) {
+      std::printf("    {\"path\": \"%s\", \"series\": \"%s\", "
+                  "\"penalty\": %.6g,\n",
+                  opt_level_name(opt),
+                  opt == OptLevel::Optimized ? "present" : "xsdk", pen);
+      std::printf("     \"total\": {\"mxp_gflops\": %.6g, "
+                  "\"double_gflops\": %.6g, \"raw_speedup\": %.6g, "
+                  "\"penalized_speedup\": %.6g},\n",
+                  report.mxp.raw_gflops, report.dbl.raw_gflops,
+                  report.dbl.raw_gflops > 0
+                      ? report.mxp.raw_gflops / report.dbl.raw_gflops
+                      : 0.0,
+                  report.speedup());
+      std::printf("     \"motifs\": [\n");
+      for (std::size_t mi = 0; mi < std::size(motifs); ++mi) {
+        const Motif m = motifs[mi];
+        const double d = report.dbl.stats.gflops(m);
+        std::printf("       {\"motif\": \"%s\", \"mxp_gflops\": %.6g, "
+                    "\"double_gflops\": %.6g, \"raw_speedup\": %.6g, "
+                    "\"penalized_speedup\": %.6g}%s\n",
+                    std::string(motif_name(m)).c_str(),
+                    report.mxp.stats.gflops(m), d,
+                    d > 0 ? report.mxp.stats.gflops(m) / d : 0.0,
+                    d > 0 ? report.mxp.stats.gflops(m) * pen / d : 0.0,
+                    mi + 1 < std::size(motifs) ? "," : "");
+      }
+      std::printf("     ]}%s\n", oi + 1 < std::size(opts_sweep) ? "," : "");
+      continue;
+    }
 
     std::printf("\n--- %s path ('%s' series) ---\n", opt_level_name(opt),
                 opt == OptLevel::Optimized ? "present" : "xsdk");
-    std::printf("penalty (n_d/n_ir capped): %.3f\n",
-                report.validation.penalty());
+    std::printf("penalty (n_d/n_ir capped): %.3f\n", pen);
     std::printf("%-8s %14s %14s %10s %10s\n", "motif", "mxp GF/s",
                 "double GF/s", "raw", "penalized");
-    const double pen = report.validation.penalty();
     std::printf("%-8s %14.2f %14.2f %9.2fx %9.2fx\n", "TOTAL",
                 report.mxp.raw_gflops, report.dbl.raw_gflops,
                 report.dbl.raw_gflops > 0
@@ -52,6 +93,10 @@ int main() {
                   d > 0 ? report.mxp.stats.gflops(m) / d : 0.0,
                   d > 0 ? report.mxp.stats.gflops(m) * pen / d : 0.0);
     }
+  }
+  if (json) {
+    std::printf("  ]\n}\n");
+    return 0;
   }
   std::printf(
       "\npaper Fig. 5 (present, Frontier): TOTAL 1.6x penalized (penalty\n"

@@ -3,20 +3,24 @@
 // Paper observations: GS dominates, mxp spends a smaller share in Ortho
 // than double (Ortho benefits most from fp32), and at 9408 nodes Ortho's
 // share grows (all-reduce synchronization).
+//
+//   $ ./exp_fig7_breakdown [--json]   # --json: machine-readable report
 #include "exhibit_common.hpp"
 
 namespace {
 
+constexpr hpgmx::Motif kMotifs[] = {hpgmx::Motif::GS, hpgmx::Motif::Ortho,
+                                    hpgmx::Motif::SpMV,
+                                    hpgmx::Motif::Restrict};
+
 void print_breakdown(const char* label, const hpgmx::PhaseResult& phase) {
   using namespace hpgmx;
-  const Motif motifs[] = {Motif::GS, Motif::Ortho, Motif::SpMV,
-                          Motif::Restrict};
   double main4 = 0;
-  for (const Motif m : motifs) {
+  for (const Motif m : kMotifs) {
     main4 += phase.stats.seconds(m);
   }
   std::printf("%-14s", label);
-  for (const Motif m : motifs) {
+  for (const Motif m : kMotifs) {
     std::printf(" %s %5.1f%%", std::string(motif_name(m)).c_str(),
                 main4 > 0 ? phase.stats.seconds(m) / main4 * 100 : 0.0);
   }
@@ -26,20 +30,46 @@ void print_breakdown(const char* label, const hpgmx::PhaseResult& phase) {
                   : 0.0);
 }
 
+void print_breakdown_json(const char* label, const hpgmx::PhaseResult& phase,
+                          bool last) {
+  using namespace hpgmx;
+  double main4 = 0;
+  for (const Motif m : kMotifs) {
+    main4 += phase.stats.seconds(m);
+  }
+  std::printf("       {\"phase\": \"%s\", \"four_motif_share\": %.6g", label,
+              phase.stats.total_seconds() > 0
+                  ? main4 / phase.stats.total_seconds()
+                  : 0.0);
+  for (const Motif m : kMotifs) {
+    std::printf(", \"%s\": %.6g", std::string(motif_name(m)).c_str(),
+                main4 > 0 ? phase.stats.seconds(m) / main4 : 0.0);
+  }
+  std::printf("}%s\n", last ? "" : ",");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
                                               /*seconds=*/0.8);
-  banner("EXP fig7 motif time breakdown (paper Fig. 7)",
-         "GS dominates; mxp's Ortho share < double's; Ortho share grows "
-         "with scale (all-reduce sync)");
+  if (!json) {
+    banner("EXP fig7 motif time breakdown (paper Fig. 7)",
+           "GS dominates; mxp's Ortho share < double's; Ortho share grows "
+           "with scale (all-reduce sync)");
+  } else {
+    std::printf("{\n  \"exhibit\": \"fig7_motif_breakdown\",\n");
+    std::printf("  \"runs\": [\n");
+  }
 
   const int small_ranks = cfg.ranks;
   const int large_ranks = static_cast<int>(env_int_or("HPGMX_RANKS_LARGE", 8));
-  for (const int ranks : {small_ranks, large_ranks}) {
+  const int rank_sweep[] = {small_ranks, large_ranks};
+  for (std::size_t ri = 0; ri < std::size(rank_sweep); ++ri) {
+    const int ranks = rank_sweep[ri];
     BenchParams p = cfg.params;
     if (ranks > 1) {
       // Keep the total work affordable when time-sharing 8 virtual ranks.
@@ -48,9 +78,21 @@ int main() {
     BenchmarkDriver driver(p, ranks);
     const PhaseResult mxp = driver.run_phase(true);
     const PhaseResult dbl = driver.run_phase(false);
-    std::printf("\n-- %d rank(s), local %d^3 --\n", ranks, p.nx);
-    print_breakdown("mxp", mxp);
-    print_breakdown("double", dbl);
+    if (json) {
+      std::printf("    {\"ranks\": %d, \"local_n\": %d, \"phases\": [\n",
+                  ranks, p.nx);
+      print_breakdown_json("mxp", mxp, /*last=*/false);
+      print_breakdown_json("double", dbl, /*last=*/true);
+      std::printf("    ]}%s\n", ri + 1 < std::size(rank_sweep) ? "," : "");
+    } else {
+      std::printf("\n-- %d rank(s), local %d^3 --\n", ranks, p.nx);
+      print_breakdown("mxp", mxp);
+      print_breakdown("double", dbl);
+    }
+  }
+  if (json) {
+    std::printf("  ]\n}\n");
+    return 0;
   }
   std::printf(
       "\npaper Fig. 7 (qualitative): at 1 node GS ~50-60%%, Ortho ~20-25%%\n"

@@ -3,9 +3,13 @@
 //
 //   $ ./quickstart [n]                  # local grid n^3, default 32
 //   $ HPGMX_PRECISION=bf16 ./quickstart # inner cycles in bf16 (or fp16/fp32)
+//   $ HPGMX_PRECISION_SCHEDULE=fp32,bf16,bf16 ./quickstart
+//                          # progressive precision: one format per MG level
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "comm/comm.hpp"
 #include "core/benchmark.hpp"
@@ -59,15 +63,27 @@ int main(int argc, char** argv) {
 
   // 3. Mixed precision: GMRES-IR, inner cycles in the storage format chosen
   //    by HPGMX_PRECISION (fp32 default; bf16/fp16 halve the bytes again).
-  const Precision prec = precision_from_env("HPGMX_PRECISION", Precision::Fp32);
+  //    HPGMX_PRECISION_SCHEDULE instead assigns one format per multigrid
+  //    level (progressive precision) — the solver dispatches on its entry.
+  params.inner_precision =
+      precision_from_env("HPGMX_PRECISION", params.inner_precision);
+  params.set_precision_schedule(schedule_from_env("HPGMX_PRECISION_SCHEDULE"));
+  const Precision prec = params.inner_precision;
   WallTimer t_ir;
   AlignedVector<double> x_ir(b.size(), 0.0);
   const SolveResult res_ir = dispatch_precision(prec, [&](auto tag) {
     using TLow = typename decltype(tag)::type;
+    const std::vector<double> lvl_max = hierarchy_level_max_abs(hierarchy);
     ScaleGuard guard;
-    guard.initialize(hierarchy_max_abs_value(hierarchy),
-                     PrecisionTraits<TLow>::max_finite);
-    Multigrid<TLow> mg_low(hierarchy, params, /*tag_base=*/100, guard.scale());
+    guard.initialize(
+        guard_reference_max_abs(
+            std::span<const double>(lvl_max.data(), lvl_max.size()),
+            params.precision_schedule),
+        PrecisionTraits<TLow>::max_finite);
+    Multigrid<TLow> mg_low(hierarchy, params, /*tag_base=*/100, guard.scale(),
+                           params.precision_schedule,
+                           std::span<const double>(lvl_max.data(),
+                                                   lvl_max.size()));
     DistOperator<double> a_d(hierarchy.levels[0].a,
                              hierarchy.structures[0].get(), params.opt,
                              /*tag=*/90);
@@ -76,9 +92,13 @@ int main(int argc, char** argv) {
     return gmres_ir.solve(comm, b, std::span<double>(x_ir.data(), x_ir.size()));
   });
   const double sec_ir = t_ir.seconds();
+  const std::string prec_label =
+      params.precision_schedule.empty()
+          ? std::string(precision_name(prec))
+          : params.precision_schedule.to_string();
   std::printf("GMRES-IR (%s): %4d iters, relres %.2e, %.3f s\n",
-              std::string(precision_name(prec)).c_str(), res_ir.iterations,
-              res_ir.relative_residual, sec_ir);
+              prec_label.c_str(), res_ir.iterations, res_ir.relative_residual,
+              sec_ir);
 
   // 4. Both reached the same 1e-9 accuracy; the exact solution is 1.
   double max_err = 0;

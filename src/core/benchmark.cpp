@@ -16,7 +16,11 @@ std::string BenchReport::to_string() const {
   os << "ranks: " << ranks << "  local grid: " << params.nx << "x" << params.ny
      << "x" << params.nz << "  restart: " << params.restart_length
      << "  path: " << opt_level_name(params.opt)
-     << "  inner: " << precision_name(params.inner_precision) << "\n";
+     << "  inner: " << precision_name(params.inner_precision);
+  if (!params.precision_schedule.empty()) {
+    os << "  schedule: " << params.precision_schedule.to_string();
+  }
+  os << "\n";
   os << "validation: n_d=" << validation.n_d << " n_ir=" << validation.n_ir
      << " ratio=" << std::fixed << std::setprecision(3) << validation.ratio()
      << " penalty=" << validation.penalty() << "\n";
@@ -140,11 +144,24 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
     ThreadCommWorld::execute(v.ranks, [&](Comm& comm) {
       const auto& h = hier[static_cast<std::size_t>(comm.rank())];
       ScaleGuard guard;
-      // Global max so every rank demotes with the same power-of-two scale.
+      // Global per-level maxima so every rank demotes with the same
+      // power-of-two scales (both the guard's α and the schedule's
+      // per-level equilibration).
+      const std::vector<double> lvl_max_local = hierarchy_level_max_abs(h);
+      std::vector<double> lvl_max(lvl_max_local.size());
+      comm.allreduce(std::span<const double>(lvl_max_local.data(),
+                                             lvl_max_local.size()),
+                     std::span<double>(lvl_max.data(), lvl_max.size()),
+                     ReduceOp::Max);
       guard.initialize(
-          comm.allreduce_scalar(hierarchy_max_abs_value(h), ReduceOp::Max),
+          guard_reference_max_abs(
+              std::span<const double>(lvl_max.data(), lvl_max.size()),
+              params_.precision_schedule),
           PrecisionTraits<TLow>::max_finite);
-      Multigrid<TLow> mg_low(h, params_, /*tag_base=*/100, guard.scale());
+      Multigrid<TLow> mg_low(h, params_, /*tag_base=*/100, guard.scale(),
+                             params_.precision_schedule,
+                             std::span<const double>(lvl_max.data(),
+                                                     lvl_max.size()));
       DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(),
                                params_.opt, /*tag=*/90);
       GmresIr<TLow> solver(&a_d, &mg_low.level_op(0), &mg_low, ir_opts);
@@ -200,11 +217,21 @@ PhaseResult BenchmarkDriver::run_phase_impl(bool mixed) {
     std::unique_ptr<GmresIr<TLow>> gmres_ir;
     ScaleGuard guard;
     if (mixed) {
+      const std::vector<double> lvl_max_local = hierarchy_level_max_abs(h);
+      std::vector<double> lvl_max(lvl_max_local.size());
+      comm.allreduce(std::span<const double>(lvl_max_local.data(),
+                                             lvl_max_local.size()),
+                     std::span<double>(lvl_max.data(), lvl_max.size()),
+                     ReduceOp::Max);
       guard.initialize(
-          comm.allreduce_scalar(hierarchy_max_abs_value(h), ReduceOp::Max),
+          guard_reference_max_abs(
+              std::span<const double>(lvl_max.data(), lvl_max.size()),
+              params_.precision_schedule),
           PrecisionTraits<TLow>::max_finite);
-      mg_low = std::make_unique<Multigrid<TLow>>(h, params_, /*tag_base=*/100,
-                                                 guard.scale());
+      mg_low = std::make_unique<Multigrid<TLow>>(
+          h, params_, /*tag_base=*/100, guard.scale(),
+          params_.precision_schedule,
+          std::span<const double>(lvl_max.data(), lvl_max.size()));
       a_d = std::make_unique<DistOperator<double>>(
           h.levels[0].a, h.structures[0].get(), params_.opt, /*tag=*/90);
       gmres_ir = std::make_unique<GmresIr<TLow>>(a_d.get(),

@@ -93,7 +93,18 @@ class BenchmarkDriver {
 
   /// Switch the inner GMRES-IR storage precision between runs — precision
   /// sweeps reuse one driver (and its generated hierarchies) per rank count.
-  void set_inner_precision(Precision p) { params_.inner_precision = p; }
+  /// Clears any installed per-level schedule (a uniform format replaces it).
+  void set_inner_precision(Precision p) {
+    params_.precision_schedule = {};
+    params_.inner_precision = p;
+  }
+
+  /// Install a per-level precision schedule for the inner multigrid
+  /// (progressive precision); the inner solver dispatches on its entry
+  /// format. An empty schedule restores the uniform inner_precision path.
+  void set_precision_schedule(PrecisionSchedule s) {
+    params_.set_precision_schedule(std::move(s));
+  }
 
   /// Phase 1. `mode` selects §3 standard or §3.3 fullscale validation.
   ValidationResult run_validation(ValidationMode mode);

@@ -6,17 +6,76 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "base/types.hpp"
 
 namespace hpgmx {
 
+// Runtime-format variants: `value_bytes` is the stored width of one value
+// (PrecisionTraits<T>::bytes / precision_bytes(p)). These are what
+// schedule-driven accounting calls, with one width per multigrid level;
+// the templated wrappers below delegate here.
+
+/// y = A x: matrix values + column indices once, x gathered (~n unique
+/// entries), y written.
+[[nodiscard]] constexpr double spmv_bytes(std::int64_t nnz, local_index_t n,
+                                          std::size_t value_bytes) {
+  return static_cast<double>(nnz) *
+             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+         2.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
+}
+
+/// One GS relaxation sweep: like SpMV plus the diagonal array and the
+/// read-modify-write of z.
+[[nodiscard]] constexpr double gs_sweep_bytes(std::int64_t nnz, local_index_t n,
+                                              std::size_t value_bytes) {
+  return static_cast<double>(nnz) *
+             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+         4.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
+}
+
+/// r = b − A x.
+[[nodiscard]] constexpr double residual_bytes(std::int64_t nnz, local_index_t n,
+                                              std::size_t value_bytes) {
+  return static_cast<double>(nnz) *
+             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+         3.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
+}
+
+/// Fused residual+restrict touching only the restricted fine rows. The
+/// coarse store happens in the coarse level's format (`coarse_value_bytes`
+/// — equal to `value_bytes` on a uniform hierarchy).
+[[nodiscard]] constexpr double fused_restrict_bytes(
+    std::int64_t nnz_sel, local_index_t n_fine, local_index_t n_coarse,
+    std::size_t value_bytes, std::size_t coarse_value_bytes) {
+  return static_cast<double>(nnz_sel) *
+             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+         static_cast<double>(n_fine) *
+             static_cast<double>(value_bytes) +  // gathered x
+         static_cast<double>(n_coarse) *
+             (static_cast<double>(value_bytes) +
+              sizeof(local_index_t)) +  // b at c2f + map
+         static_cast<double>(n_coarse) *
+             (static_cast<double>(coarse_value_bytes) +
+              sizeof(local_index_t));  // rc store + map
+}
+
+/// Injection prolongation + correction: read the coarse correction and the
+/// map, read-modify-write the fine correction at the mapped points.
+[[nodiscard]] constexpr double prolong_bytes(local_index_t n_coarse,
+                                             std::size_t fine_value_bytes,
+                                             std::size_t coarse_value_bytes) {
+  return static_cast<double>(n_coarse) *
+         (static_cast<double>(coarse_value_bytes) + sizeof(local_index_t) +
+          2.0 * static_cast<double>(fine_value_bytes));
+}
+
 /// y = A x: matrix values + column indices once, x gathered (~n unique
 /// entries), y written.
 template <typename T>
 [[nodiscard]] constexpr double spmv_bytes(std::int64_t nnz, local_index_t n) {
-  return static_cast<double>(nnz) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
-         2.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
+  return spmv_bytes(nnz, n, PrecisionTraits<T>::bytes);
 }
 
 /// One GS relaxation sweep: like SpMV plus the diagonal array and the
@@ -24,16 +83,14 @@ template <typename T>
 template <typename T>
 [[nodiscard]] constexpr double gs_sweep_bytes(std::int64_t nnz,
                                               local_index_t n) {
-  return static_cast<double>(nnz) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
-         4.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
+  return gs_sweep_bytes(nnz, n, PrecisionTraits<T>::bytes);
 }
 
 /// r = b − A x.
 template <typename T>
 [[nodiscard]] constexpr double residual_bytes(std::int64_t nnz,
                                               local_index_t n) {
-  return static_cast<double>(nnz) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
-         3.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
+  return residual_bytes(nnz, n, PrecisionTraits<T>::bytes);
 }
 
 /// Fused residual+restrict touching only the restricted fine rows.
@@ -41,10 +98,44 @@ template <typename T>
 [[nodiscard]] constexpr double fused_restrict_bytes(std::int64_t nnz_sel,
                                                     local_index_t n_fine,
                                                     local_index_t n_coarse) {
-  return static_cast<double>(nnz_sel) * (PrecisionTraits<T>::bytes + sizeof(local_index_t)) +
-         static_cast<double>(n_fine) * PrecisionTraits<T>::bytes +  // gathered x
-         2.0 * static_cast<double>(n_coarse) *
-             (PrecisionTraits<T>::bytes + sizeof(local_index_t));  // b at c2f, rc, map
+  return fused_restrict_bytes(nnz_sel, n_fine, n_coarse,
+                              PrecisionTraits<T>::bytes,
+                              PrecisionTraits<T>::bytes);
+}
+
+/// Streaming dimensions of one multigrid level, the schedule-independent
+/// half of the V-cycle traffic model (mirrors ProblemHierarchy).
+struct MgLevelDims {
+  std::int64_t nnz = 0;            ///< nonzeros of this level's operator
+  local_index_t rows = 0;          ///< owned rows of this level
+  std::int64_t nnz_coarse_rows = 0;///< nnz of rows selected by c2f (0 on coarsest)
+  local_index_t coarse_rows = 0;   ///< next level's rows (0 on coarsest)
+};
+
+/// Main-memory bytes one V-cycle streams under a per-level value width:
+/// pre/post (or coarse) GS sweeps on every level, plus the fused
+/// restriction and the prolongation between adjacent levels, each charged
+/// at its level's format. `value_bytes[l]` is the stored width at level l
+/// (`value_bytes.size() == levels.size()`); with a uniform width this is
+/// exactly the sum of the templated per-motif formulas.
+[[nodiscard]] inline double mg_vcycle_bytes(std::span<const MgLevelDims> levels,
+                                            std::span<const std::size_t> value_bytes,
+                                            int pre_sweeps, int post_sweeps,
+                                            int coarse_sweeps) {
+  double total = 0.0;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const MgLevelDims& d = levels[l];
+    const bool coarsest = (l + 1 == levels.size());
+    const int sweeps =
+        coarsest ? coarse_sweeps : pre_sweeps + post_sweeps;
+    total += sweeps * gs_sweep_bytes(d.nnz, d.rows, value_bytes[l]);
+    if (!coarsest) {
+      total += fused_restrict_bytes(d.nnz_coarse_rows, d.rows, d.coarse_rows,
+                                    value_bytes[l], value_bytes[l + 1]);
+      total += prolong_bytes(d.coarse_rows, value_bytes[l], value_bytes[l + 1]);
+    }
+  }
+  return total;
 }
 
 /// CGS2 step k: four passes over Q[:, :k] plus the vector w.

@@ -184,10 +184,13 @@ class DistOperator {
   /// Coarse-grid residual rc = R(b − A z) via the given injection map.
   /// Optimized: fused kernel evaluated only at coarse points (§3.2.4);
   /// reference: full fine-grid residual followed by injection, using
-  /// caller-provided fine-length scratch.
+  /// caller-provided fine-length scratch. `TOut` is the coarse level's
+  /// storage format — a precision-scheduled multigrid converts on the
+  /// kernel's final store, never in a separate full-grid pass.
+  template <typename TOut = T>
   void restrict_residual(Comm& comm, std::span<const T> b, std::span<T> z,
                          std::span<const local_index_t> c2f,
-                         std::int64_t nnz_coarse_rows, std::span<T> rc) {
+                         std::int64_t nnz_coarse_rows, std::span<TOut> rc) {
     if (opt_ == OptLevel::Reference) {
       // Unfused: the motif model still charges only the fused cost so both
       // paths report identical work; the reference path just takes longer.

@@ -9,6 +9,13 @@
 // float allreduces — half the payload of the double solver's reductions).
 // In double: outer residual/norm, Givens QR (host-redundant), and the
 // mixed-precision WAXPBY that applies the correction.
+//
+// TLow is the *entry* format: with a progressive-precision schedule the
+// multigrid's coarse levels may narrow further (fp32 fine, bf16/fp16
+// coarse — see Multigrid and docs/MULTIGRID.md). The solver is oblivious:
+// it exchanges TLow vectors with the fine level, and the schedule's
+// per-level scales are compensated inside prolongation, so the guard's
+// x += ρ·α·z update is unchanged.
 #pragma once
 
 #include <cmath>

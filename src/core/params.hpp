@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <utility>
 
 #include "base/error.hpp"
 #include "base/options.hpp"
@@ -61,11 +62,29 @@ struct BenchParams {
   OptLevel opt = OptLevel::Optimized;
 
   /// Storage precision of the inner GMRES-IR cycles (the paper's fp32
-  /// column by default; bf16/fp16 open the sub-32-bit territory).
+  /// column by default; bf16/fp16 open the sub-32-bit territory). When a
+  /// non-empty `precision_schedule` is set this always equals its entry
+  /// (fine-level) format — the type the solver stack dispatches on.
   Precision inner_precision = Precision::Fp32;
 
+  /// Per-multigrid-level storage formats for the inner solver (progressive
+  /// precision, e.g. fp32,bf16,bf16,fp16). Empty = uniform inner_precision
+  /// on every level (the degenerate single-format case).
+  PrecisionSchedule precision_schedule;
+
+  /// Install `s` as the precision schedule, keeping inner_precision in sync
+  /// with the schedule's entry format (empty schedule leaves it unchanged).
+  void set_precision_schedule(PrecisionSchedule s) {
+    precision_schedule = std::move(s);
+    if (!precision_schedule.empty()) {
+      inner_precision = precision_schedule.entry();
+    }
+  }
+
   /// Apply HPGMX_NX/NY/NZ, HPGMX_RESTART, HPGMX_MAXITERS, HPGMX_BENCH_SECONDS,
-  /// HPGMX_GAMMA, HPGMX_MG_LEVELS, HPGMX_PRECISION (fp64|fp32|bf16|fp16) and
+  /// HPGMX_GAMMA, HPGMX_MG_LEVELS, HPGMX_PRECISION (fp64|fp32|bf16|fp16),
+  /// HPGMX_PRECISION_SCHEDULE (comma-separated per-level formats, e.g.
+  /// fp32,bf16,bf16 — overrides HPGMX_PRECISION with its entry format) and
   /// HPGMX_OPT (reference|optimized) environment overrides.
   static BenchParams from_env() {
     BenchParams p;
@@ -80,6 +99,7 @@ struct BenchParams {
     p.bench_seconds = env_double_or("HPGMX_BENCH_SECONDS", p.bench_seconds);
     p.gamma = env_double_or("HPGMX_GAMMA", p.gamma);
     p.inner_precision = precision_from_env("HPGMX_PRECISION", p.inner_precision);
+    p.set_precision_schedule(schedule_from_env("HPGMX_PRECISION_SCHEDULE"));
     if (const auto opt = env_string("HPGMX_OPT"); opt.has_value()) {
       const auto parsed = parse_opt_level(*opt);
       HPGMX_CHECK_MSG(parsed.has_value(),

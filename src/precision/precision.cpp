@@ -35,9 +35,59 @@ Precision precision_from_env(const char* var, Precision fallback) {
     return fallback;
   }
   const auto parsed = parse_precision(*raw);
+  HPGMX_CHECK_MSG(parsed.has_value(), var << "='" << *raw
+                                          << "' is not a precision (accepted: "
+                                          << kPrecisionTokens << ")");
+  return *parsed;
+}
+
+std::string PrecisionSchedule::to_string() const {
+  std::string out;
+  for (const Precision p : levels) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += precision_name(p);
+  }
+  return out;
+}
+
+std::optional<PrecisionSchedule> parse_precision_schedule(std::string_view s) {
+  PrecisionSchedule schedule;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view elem =
+        comma == std::string_view::npos ? s : s.substr(0, comma);
+    const auto p = parse_precision(elem);
+    if (!p.has_value()) {
+      return std::nullopt;  // includes empty elements ("fp32,,bf16")
+    }
+    schedule.levels.push_back(*p);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    s.remove_prefix(comma + 1);
+    if (s.empty()) {
+      return std::nullopt;  // trailing comma
+    }
+  }
+  if (schedule.levels.empty()) {
+    return std::nullopt;
+  }
+  return schedule;
+}
+
+PrecisionSchedule schedule_from_env(const char* var) {
+  const auto raw = env_string(var);
+  if (!raw.has_value() || raw->empty()) {
+    return {};
+  }
+  const auto parsed = parse_precision_schedule(*raw);
   HPGMX_CHECK_MSG(parsed.has_value(),
                   var << "='" << *raw
-                      << "' is not a precision (fp64|fp32|bf16|fp16)");
+                      << "' is not a precision schedule: expected a "
+                         "comma-separated list of "
+                      << kPrecisionTokens << " tokens, e.g. fp32,bf16,bf16");
   return *parsed;
 }
 

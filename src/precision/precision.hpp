@@ -6,10 +6,17 @@
 // loop in an exhibit — to those instantiations. dispatch_precision()
 // instantiates its callable once per supported format, which is where the
 // bf16/fp16 kernel and solver template bodies get compiled.
+//
+// PrecisionSchedule extends the single-format choice to one format *per
+// multigrid level* (progressive precision: fp32 fine level, 16-bit coarse
+// levels). The schedule's entry level (index 0) is what the solver
+// dispatches on; Multigrid consumes the rest.
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/error.hpp"
 #include "precision/float16.hpp"
@@ -30,6 +37,11 @@ struct PrecisionTag {
   using type = T;
 };
 
+/// The accepted canonical tokens, in the order of the enum — every parse /
+/// dispatch error message names these so a typo'd environment variable
+/// tells the user what would have worked.
+inline constexpr std::string_view kPrecisionTokens = "fp64|fp32|bf16|fp16";
+
 [[nodiscard]] constexpr std::string_view precision_name(Precision p) {
   switch (p) {
     case Precision::Fp64: return "fp64";
@@ -40,12 +52,88 @@ struct PrecisionTag {
   return "?";
 }
 
+/// Map a supported value type back to its enum (the inverse of
+/// dispatch_precision's tag), so runtime schedule entries can be checked
+/// against compile-time instantiations. Unsupported types fail to compile
+/// rather than silently mapping to a wrong format.
+namespace detail {
+template <typename T>
+struct PrecisionOf {
+  static_assert(is_supported_value_v<T>,
+                "precision_of_v requires a supported value type");
+  static constexpr Precision value =
+      std::is_same_v<T, double>   ? Precision::Fp64
+      : std::is_same_v<T, float>  ? Precision::Fp32
+      : std::is_same_v<T, bf16_t> ? Precision::Bf16
+                                  : Precision::Fp16;
+};
+}  // namespace detail
+
+template <typename T>
+inline constexpr Precision precision_of_v = detail::PrecisionOf<T>::value;
+
+/// Bytes one stored value of format `p` occupies — the runtime counterpart
+/// of PrecisionTraits<T>::bytes for schedule-driven byte accounting.
+[[nodiscard]] constexpr std::size_t precision_bytes(Precision p) {
+  return (p == Precision::Fp64) ? 8u : (p == Precision::Fp32) ? 4u : 2u;
+}
+
 /// Parse "fp64"/"fp32"/"bf16"/"fp16" (also accepts "double"/"float"/"half").
 [[nodiscard]] std::optional<Precision> parse_precision(std::string_view s);
 
 /// Environment override: parse `var` when set, else `fallback`. Throws on
-/// an unparseable value (a typo'd sweep must not silently run fp32).
+/// an unparseable value (a typo'd sweep must not silently run fp32); the
+/// message names the accepted tokens (kPrecisionTokens).
 [[nodiscard]] Precision precision_from_env(const char* var, Precision fallback);
+
+/// A storage format per multigrid level (progressive-precision multigrid).
+///
+/// `levels[0]` is the fine level — the format the GMRES-IR inner solver
+/// dispatches on; deeper levels may narrow (e.g. fp32,bf16,bf16,fp16).
+/// A schedule shorter than the hierarchy extends with its last entry, so
+/// "fp32,bf16" means "fp32 fine level, bf16 everywhere below". An empty
+/// schedule is the degenerate uniform case: every level runs the single
+/// configured inner precision.
+struct PrecisionSchedule {
+  std::vector<Precision> levels;
+
+  [[nodiscard]] bool empty() const { return levels.empty(); }
+
+  /// True when every level (after extension) shares one format.
+  [[nodiscard]] bool uniform() const {
+    for (const Precision p : levels) {
+      if (p != levels.front()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Format of level `l`; schedules shorter than the hierarchy clamp to
+  /// their last entry. Must not be called on an empty schedule.
+  [[nodiscard]] Precision at(int l) const {
+    HPGMX_CHECK(!levels.empty() && l >= 0);
+    const auto i = static_cast<std::size_t>(l);
+    return i < levels.size() ? levels[i] : levels.back();
+  }
+
+  /// The format the inner solver dispatches on (fine level).
+  [[nodiscard]] Precision entry() const { return at(0); }
+
+  /// Canonical comma-separated form, e.g. "fp32,bf16,bf16" ("" if empty).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse a comma-separated schedule, e.g. "fp32,bf16,bf16,fp16". Every
+/// element must be a valid precision token; empty elements (or an empty
+/// string) are rejected.
+[[nodiscard]] std::optional<PrecisionSchedule> parse_precision_schedule(
+    std::string_view s);
+
+/// Environment override: parse `var` when set, else return an empty
+/// (uniform) schedule. Throws on an unparseable value, naming the offending
+/// element and the accepted tokens.
+[[nodiscard]] PrecisionSchedule schedule_from_env(const char* var);
 
 /// Invoke `f(PrecisionTag<T>{})` with T selected by `p`; returns f's result.
 template <typename F>
@@ -56,7 +144,9 @@ decltype(auto) dispatch_precision(Precision p, F&& f) {
     case Precision::Bf16: return f(PrecisionTag<bf16_t>{});
     case Precision::Fp16: return f(PrecisionTag<fp16_t>{});
   }
-  HPGMX_CHECK_MSG(false, "invalid Precision value");
+  HPGMX_CHECK_MSG(false, "invalid Precision value "
+                             << static_cast<int>(p)
+                             << " (accepted: " << kPrecisionTokens << ")");
   return f(PrecisionTag<float>{});  // unreachable
 }
 

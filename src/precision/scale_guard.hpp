@@ -51,6 +51,24 @@ struct ScaleGuardConfig {
   int max_backoffs = 60;
 };
 
+/// The power-of-two scale α that demotes values of magnitude up to
+/// `max_abs_value` into a format whose largest finite value is
+/// `format_max_finite` (PrecisionTraits<T>::max_finite): 1.0 when the
+/// format's range absorbs the values directly, else the equilibration
+/// toward `cfg.target_max_abs`. This is both the ScaleGuard's initial
+/// scale and the per-level demotion scale of a precision-scheduled
+/// multigrid, whose fp16 coarse levels each equilibrate against their own
+/// level's max|A| (the guard's dynamic backoff then multiplies on top).
+[[nodiscard]] inline double equilibration_scale(double max_abs_value,
+                                                double format_max_finite,
+                                                const ScaleGuardConfig& cfg = {}) {
+  if (max_abs_value > cfg.safety_fraction * format_max_finite &&
+      max_abs_value > 0.0 && std::isfinite(max_abs_value)) {
+    return std::exp2(std::floor(std::log2(cfg.target_max_abs / max_abs_value)));
+  }
+  return 1.0;
+}
+
 class ScaleGuard {
  public:
   ScaleGuard() = default;
@@ -60,12 +78,7 @@ class ScaleGuard {
   /// `max_abs_value` into a format whose largest finite value is
   /// `format_max_finite` (PrecisionTraits<T>::max_finite).
   void initialize(double max_abs_value, double format_max_finite) {
-    init_scale_ = 1.0;
-    if (max_abs_value > cfg_.safety_fraction * format_max_finite &&
-        max_abs_value > 0.0 && std::isfinite(max_abs_value)) {
-      init_scale_ =
-          std::exp2(std::floor(std::log2(cfg_.target_max_abs / max_abs_value)));
-    }
+    init_scale_ = equilibration_scale(max_abs_value, format_max_finite, cfg_);
     scale_ = init_scale_;
     good_cycles_ = 0;
     backoffs_ = 0;

@@ -158,18 +158,23 @@ void csr_residual(const CsrMatrix<T>& a, std::span<const T> b,
 /// Fused smoothed-residual + injection restriction (paper §3.2.4):
 /// rc[i] = b[c2f(i)] − (A x)[c2f(i)], evaluated only at coarse points.
 /// Replaces a full fine-grid residual followed by an injection pass.
-template <typename T>
+///
+/// `TOut` may differ from the fine level's `T`: a precision-scheduled
+/// multigrid demotes (or promotes) the coarse residual on the final store,
+/// inside this kernel, so crossing a precision boundary between levels adds
+/// no extra full-grid conversion pass.
+template <typename T, typename TOut = T>
 void fused_restrict_residual(const CsrMatrix<T>& a_fine, std::span<const T> b,
                              std::span<const T> x,
                              std::span<const local_index_t> c2f,
-                             std::span<T> rc) {
+                             std::span<TOut> rc) {
   HPGMX_CHECK(rc.size() >= c2f.size());
   const std::int64_t* __restrict rp = a_fine.row_ptr.data();
   const local_index_t* __restrict ci = a_fine.col_idx.data();
   const T* __restrict av = a_fine.values.data();
   const T* __restrict xv = x.data();
   const T* __restrict bv = b.data();
-  T* __restrict rcv = rc.data();
+  TOut* __restrict rcv = rc.data();
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < c2f.size(); ++i) {
     const local_index_t fr = c2f[i];
@@ -177,7 +182,7 @@ void fused_restrict_residual(const CsrMatrix<T>& a_fine, std::span<const T> b,
     for (std::int64_t p = rp[fr]; p < rp[fr + 1]; ++p) {
       acc -= av[p] * xv[ci[p]];
     }
-    rcv[i] = acc;
+    rcv[i] = static_cast<TOut>(acc);
   }
 }
 
@@ -207,29 +212,52 @@ void fused_restrict_residual_subset(const CsrMatrix<T>& a_fine,
   }
 }
 
-/// Injection prolongation + correction: x[c2f(i)] += zc[i].
-template <typename T>
-void prolong_correct(std::span<const local_index_t> c2f,
-                     std::span<const T> zc, std::span<T> x) {
+/// Injection prolongation + correction: x[c2f(i)] += alpha · zc[i].
+///
+/// `TC` (coarse) may be narrower or wider than `TF` (fine): a precision-
+/// scheduled multigrid promotes the coarse correction here, on the fly,
+/// instead of in a separate conversion pass. `alpha` compensates a
+/// *per-level* demotion-scale mismatch — when the coarse operator was
+/// stored as α_c·A_c and the fine one as α_f·A_f, the coarse correction is
+/// 1/α_c too large relative to the fine level's scaled system, so the
+/// caller passes alpha = α_c/α_f (1.0 on every uniform path, where the
+/// fast branch keeps the original arithmetic).
+template <typename TC, typename TF>
+void prolong_correct(std::span<const local_index_t> c2f, std::span<const TC> zc,
+                     std::span<TF> x, double alpha = 1.0) {
   const local_index_t* __restrict map = c2f.data();
-  const T* __restrict z = zc.data();
-  T* __restrict xv = x.data();
+  const TC* __restrict z = zc.data();
+  TF* __restrict xv = x.data();
+  if constexpr (std::is_same_v<TC, TF>) {
+    if (alpha == 1.0) {
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < c2f.size(); ++i) {
+        xv[map[i]] += z[i];
+      }
+      return;
+    }
+  }
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < c2f.size(); ++i) {
-    xv[map[i]] += z[i];
+    using Acc = wider_t<accum_t<TF>, accum_t<TC>>;
+    const Acc zi = static_cast<Acc>(static_cast<accum_t<TC>>(z[i]) *
+                                    static_cast<Acc>(alpha));
+    xv[map[i]] = static_cast<TF>(static_cast<accum_t<TF>>(xv[map[i]]) + zi);
   }
 }
 
-/// Injection restriction alone (reference path): rc[i] = rf[c2f(i)].
-template <typename T>
+/// Injection restriction alone (reference path): rc[i] = rf[c2f(i)],
+/// converting between level formats on the store (see
+/// fused_restrict_residual).
+template <typename T, typename TOut = T>
 void inject_restrict(std::span<const local_index_t> c2f, std::span<const T> rf,
-                     std::span<T> rc) {
+                     std::span<TOut> rc) {
   const local_index_t* __restrict map = c2f.data();
   const T* __restrict r = rf.data();
-  T* __restrict rcv = rc.data();
+  TOut* __restrict rcv = rc.data();
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < c2f.size(); ++i) {
-    rcv[i] = r[map[i]];
+    rcv[i] = static_cast<TOut>(r[map[i]]);
   }
 }
 

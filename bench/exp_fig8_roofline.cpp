@@ -109,19 +109,20 @@ void add_kernels(std::vector<KernelSample>& out, const Problem& prob,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   // 64^3 keeps the harness quick; kernels may sit above a DRAM roof when
   // the working set fits in a large L3 — use HPGMX_NX=96+ for a strictly
   // DRAM-resident roofline.
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/64, /*ranks=*/1);
-  banner("EXP fig8 roofline (paper Fig. 8)",
-         "ten most expensive kernels sit on the HBM bandwidth roof of one "
-         "MI250x GCD (1.6 TB/s)");
+  if (!json) {
+    banner("EXP fig8 roofline (paper Fig. 8)",
+           "ten most expensive kernels sit on the HBM bandwidth roof of one "
+           "MI250x GCD (1.6 TB/s)");
+  }
 
   const BandwidthResult bw = measure_stream_bandwidth();
-  std::printf("host STREAM roof: triad %.2f GB/s, copy %.2f GB/s\n\n",
-              bw.triad_gbs, bw.copy_gbs);
 
   ProblemParams pp;
   pp.nx = pp.ny = pp.nz = cfg.params.nx;
@@ -133,6 +134,31 @@ int main() {
   add_kernels<double>(samples, prob, coarse, reps);
   add_kernels<float>(samples, prob, coarse, reps);
 
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"fig8_roofline\",\n");
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"stream_triad_gbs\": %.6g,\n", bw.triad_gbs);
+    std::printf("  \"stream_copy_gbs\": %.6g,\n", bw.copy_gbs);
+    std::printf("  \"kernels\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const KernelSample& s = samples[i];
+      const double gbs = s.seconds > 0 ? s.bytes / s.seconds * 1e-9 : 0.0;
+      const double gflops = s.seconds > 0 ? s.flops / s.seconds * 1e-9 : 0.0;
+      std::printf("    {\"name\": \"%s\", \"ai_flops_per_byte\": %.6g, "
+                  "\"gflops\": %.6g, \"gbs\": %.6g, \"pct_roof\": %.6g}%s\n",
+                  s.name.c_str(), s.arithmetic_intensity(), gflops, gbs,
+                  bw.triad_gbs > 0 ? 100.0 * gbs / bw.triad_gbs : 0.0,
+                  i + 1 < samples.size() ? "," : "");
+    }
+    std::printf("  ]\n");
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("host STREAM roof: triad %.2f GB/s, copy %.2f GB/s\n\n",
+              bw.triad_gbs, bw.copy_gbs);
   std::printf("%s\n",
               roofline_report(samples, bw.triad_gbs, /*peak=*/0.0).c_str());
   std::printf("paper Fig. 8: all kernels line up at the HBM bandwidth limit\n"

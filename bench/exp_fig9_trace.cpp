@@ -14,13 +14,21 @@
 #include "exhibit_common.hpp"
 #include "perf/trace.hpp"
 
-int main() {
+//   $ ./exp_fig9_trace [--json]
+//
+// --json emits one machine-readable report object on stdout (the BENCH_*
+// perf-trajectory format: per-level interior/wire times and the
+// halo-hidden fraction) instead of the human timelines.
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/8);
-  banner("EXP fig9 compute-communication overlap traces (paper Fig. 9)",
-         "fine grid: halo fully hidden behind interior GS; coarsest grid: "
-         "overlap incomplete");
+  if (!json) {
+    banner("EXP fig9 compute-communication overlap traces (paper Fig. 9)",
+           "fine grid: halo fully hidden behind interior GS; coarsest grid: "
+           "overlap incomplete");
+  }
 
   const int ranks = cfg.ranks;
   const ProcessGrid pgrid = ProcessGrid::create(ranks);
@@ -79,10 +87,9 @@ int main() {
   // kernel time per sweep vs the *wire* time a real network would need for
   // this level's messages (host machine model). hidden = min(1, int/wire).
   const MachineModel net = MachineModel::host(/*bw, unused here*/ 10.0);
-  std::printf("rank %d of %d, %d GS sweeps per level, local fine grid %d^3\n",
-              observed, ranks, sweeps, cfg.params.nx);
-  std::printf("\n%-6s %11s %14s %14s %18s\n", "level", "local rows",
-              "interior ms", "wire-time ms", "halo hidden");
+  std::vector<double> level_interior_s(static_cast<std::size_t>(levels_cap));
+  std::vector<double> level_wire_s(static_cast<std::size_t>(levels_cap));
+  std::vector<double> level_hidden(static_cast<std::size_t>(levels_cap));
   for (int l = 0; l < levels_cap; ++l) {
     double interior_s = 0;
     for (const auto& e : recorders[static_cast<std::size_t>(l)].events_for(
@@ -97,11 +104,43 @@ int main() {
          level_halo_bytes[static_cast<std::size_t>(l)] /
              (net.link_gbs * 1e3)) *
         1e-6;
-    const double hidden =
+    level_interior_s[static_cast<std::size_t>(l)] = interior_s;
+    level_wire_s[static_cast<std::size_t>(l)] = wire_s;
+    level_hidden[static_cast<std::size_t>(l)] =
         wire_s > 0 ? std::min(1.0, interior_s / wire_s) : 1.0;
-    std::printf("%-6d %11d %14.4f %14.4f %17.1f%%\n", l,
-                level_rows[static_cast<std::size_t>(l)], interior_s * 1e3,
-                wire_s * 1e3, hidden * 100.0);
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"fig9_trace\",\n");
+    std::printf("  \"ranks\": %d,\n", ranks);
+    std::printf("  \"observed_rank\": %d,\n", observed);
+    std::printf("  \"sweeps\": %d,\n", sweeps);
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"levels\": [\n");
+    for (int l = 0; l < levels_cap; ++l) {
+      const auto i = static_cast<std::size_t>(l);
+      std::printf("    {\"level\": %d, \"rows\": %d, \"interior_ms\": %.6g, "
+                  "\"wire_ms\": %.6g, \"halo_hidden\": %.6g}%s\n",
+                  l, level_rows[i], level_interior_s[i] * 1e3,
+                  level_wire_s[i] * 1e3, level_hidden[i],
+                  l + 1 < levels_cap ? "," : "");
+    }
+    std::printf("  ]\n");
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("rank %d of %d, %d GS sweeps per level, local fine grid %d^3\n",
+              observed, ranks, sweeps, cfg.params.nx);
+  std::printf("\n%-6s %11s %14s %14s %18s\n", "level", "local rows",
+              "interior ms", "wire-time ms", "halo hidden");
+  for (int l = 0; l < levels_cap; ++l) {
+    const auto i = static_cast<std::size_t>(l);
+    std::printf("%-6d %11d %14.4f %14.4f %17.1f%%\n", l, level_rows[i],
+                level_interior_s[i] * 1e3, level_wire_s[i] * 1e3,
+                level_hidden[i] * 100.0);
   }
 
   std::printf("\nfine-grid timeline (level 0; p=pack/post, w=wait, "

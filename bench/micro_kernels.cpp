@@ -1,23 +1,39 @@
-// Google-benchmark microbenchmarks of the individual kernels, covering the
-// paper's §3.2 design choices as ablations:
-//   CSR vs ELL SpMV           (§3.2.2)
-//   level-scheduled vs multicolor Gauss–Seidel, fp64 vs fp32   (§3.2.1)
-//   fused vs unfused residual+restriction                      (§3.2.4)
-//   dot/WAXPBY in fp64 vs fp32 vs 16-bit (memory-bound 2x/4x expectation)
+// Kernel microbenchmarks covering the paper's §3.2 design choices as
+// ablations, self-contained (no external benchmark framework so the
+// harness always builds and owns its JSON schema):
 //
-// `--json` is shorthand for --benchmark_format=json: one machine-readable
-// report on stdout for the BENCH_* perf trajectory.
-#include <benchmark/benchmark.h>
-
-#include <cstring>
+//   CSR vs ELL SpMV                                    (§3.2.2)
+//   scalar vs staged (blocked fp32-widening) 16-bit ELL SpMV and colored GS
+//   fused vs unfused solver passes: spmv_dot, waxpby_norm, residual_norm
+//   batched vs scalar bf16/fp16 <-> fp32 span conversions
+//   dot/WAXPBY across storage precisions (memory-bound 2x/4x expectation)
+//
+// Every row reports the *modeled* streaming bytes (bytes_model.hpp), the
+// modeled bytes per matrix row where applicable, and the effective GB/s
+// (modeled bytes / measured seconds) — "effective" because a 16-bit kernel
+// that streams half the bytes at equal time shows half the GB/s, which is
+// exactly the memory-wall win the trajectory tracks.
+//
+//   $ ./micro_kernels [--json]
+//
+// --json emits one machine-readable object on stdout (the BENCH_kernels
+// perf-trajectory format; see bench/run_bench.sh). Exit code: nonzero when
+// the 16-bit gate fails — any 16-bit ELL SpMV variant whose modeled
+// bytes/row is not strictly below its fp32 counterpart.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "base/options.hpp"
+#include "base/timer.hpp"
 #include "blas/vector_ops.hpp"
 #include "coloring/coloring.hpp"
-#include "comm/comm.hpp"
-#include "core/multigrid.hpp"
+#include "core/bytes_model.hpp"
+#include "exhibit_common.hpp"
 #include "grid/problem.hpp"
+#include "precision/convert_batch.hpp"
 #include "precision/float16.hpp"
 #include "sparse/gauss_seidel.hpp"
 #include "sparse/kernels.hpp"
@@ -25,6 +41,52 @@
 namespace {
 
 using namespace hpgmx;
+
+struct Row {
+  std::string kernel;   ///< e.g. "spmv_ell"
+  std::string format;   ///< "fp64" / "fp32" / "bf16" / "fp16"
+  std::string variant;  ///< "scalar" / "staged" / "fused" / "unfused" / ...
+  double bytes = 0;          ///< modeled streaming bytes per call
+  double bytes_per_row = 0;  ///< modeled bytes per matrix row (0: vector op)
+  double seconds = 0;        ///< measured seconds per call
+  int reps = 0;
+
+  [[nodiscard]] double gbs() const {
+    return seconds > 0 ? bytes / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Time fn() adaptively: one warmup, one calibration call, then enough
+/// repetitions to fill ~target_seconds. Returns seconds per call.
+template <typename F>
+double time_kernel_adaptive(double target_seconds, F&& fn, int* reps_out) {
+  fn();  // warmup (page faults, frequency ramp)
+  WallTimer cal;
+  fn();
+  const double t1 = std::max(cal.seconds(), 1e-9);
+  const int reps = std::clamp(static_cast<int>(target_seconds / t1), 1, 20000);
+  WallTimer t;
+  for (int i = 0; i < reps; ++i) {
+    fn();
+  }
+  *reps_out = reps;
+  return t.seconds() / reps;
+}
+
+template <typename F>
+Row make_row(const char* kernel, const char* format, const char* variant,
+             double bytes, local_index_t rows_for_per_row, double target,
+             F&& fn) {
+  Row r;
+  r.kernel = kernel;
+  r.format = format;
+  r.variant = variant;
+  r.bytes = bytes;
+  r.bytes_per_row =
+      rows_for_per_row > 0 ? bytes / static_cast<double>(rows_for_per_row) : 0;
+  r.seconds = time_kernel_adaptive(target, fn, &r.reps);
+  return r;
+}
 
 Problem make_problem(local_index_t n) {
   ProcessGrid pgrid(1, 1, 1);
@@ -34,186 +96,296 @@ Problem make_problem(local_index_t n) {
 }
 
 template <typename T>
-void bm_spmv_csr(benchmark::State& state) {
-  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+void add_spmv(std::vector<Row>& out, const Problem& prob, double target) {
   const CsrMatrix<T> a = prob.a.convert<T>();
-  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(1));
-  AlignedVector<T> y(static_cast<std::size_t>(a.num_rows), T(0));
-  for (auto _ : state) {
+  const EllMatrix<T> e = ell_from_csr(a);
+  const local_index_t n = e.num_rows;
+  const std::size_t vb = PrecisionTraits<T>::bytes;
+  const char* fmt = PrecisionTraits<T>::name.data();
+  AlignedVector<T> x(static_cast<std::size_t>(e.num_cols), T(1));
+  AlignedVector<T> y(static_cast<std::size_t>(n), T(0));
+  const double csr_b = spmv_bytes(a.nnz(), n, vb);
+  const double ell_b = spmv_bytes(e.padded_nnz(), n, vb);
+
+  out.push_back(make_row("spmv_csr", fmt, "scalar", csr_b, n, target, [&] {
     csr_spmv(a, std::span<const T>(x.data(), x.size()),
              std::span<T>(y.data(), y.size()));
-    benchmark::DoNotOptimize(y.data());
+  }));
+  out.push_back(make_row("spmv_ell", fmt, "scalar", ell_b, n, target, [&] {
+    ell_spmv_scalar(e, std::span<const T>(x.data(), x.size()),
+                    std::span<T>(y.data(), y.size()));
+  }));
+  if constexpr (detail::is_16bit_value_v<T>) {
+    // The production dispatch (ell_spmv) takes the staged path for 16-bit
+    // types; the scalar row above is the promote-through-float ablation.
+    out.push_back(make_row("spmv_ell", fmt, "staged", ell_b, n, target, [&] {
+      ell_spmv(e, std::span<const T>(x.data(), x.size()),
+               std::span<T>(y.data(), y.size()));
+    }));
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (a.nnz() * (sizeof(T) + sizeof(local_index_t)) +
-                           a.num_rows * sizeof(T)));
-  state.counters["gflops"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 2.0 *
-          static_cast<double>(a.nnz()),
-      benchmark::Counter::kIsRate);
 }
 
 template <typename T>
-void bm_spmv_ell(benchmark::State& state) {
-  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
+void add_gs(std::vector<Row>& out, const Problem& prob, double target) {
   const CsrMatrix<T> a = prob.a.convert<T>();
   const EllMatrix<T> e = ell_from_csr(a);
-  AlignedVector<T> x(static_cast<std::size_t>(e.num_cols), T(1));
-  AlignedVector<T> y(static_cast<std::size_t>(e.num_rows), T(0));
-  for (auto _ : state) {
-    ell_spmv(e, std::span<const T>(x.data(), x.size()),
-             std::span<T>(y.data(), y.size()));
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetBytesProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      (e.padded_nnz() * (sizeof(T) + sizeof(local_index_t)) +
-       e.num_rows * sizeof(T)));
-  state.counters["gflops"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 2.0 *
-          static_cast<double>(a.nnz()),
-      benchmark::Counter::kIsRate);
-}
-
-template <typename T>
-void bm_gs_levelsched(benchmark::State& state) {
-  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
-  const CsrMatrix<T> a = prob.a.convert<T>();
-  const RowPartition levels = build_lower_level_schedule(a);
-  AlignedVector<T> r(static_cast<std::size_t>(a.num_rows), T(1));
-  AlignedVector<T> z(static_cast<std::size_t>(a.num_cols), T(0));
-  AlignedVector<T> t(static_cast<std::size_t>(a.num_rows), T(0));
-  for (auto _ : state) {
-    gs_sweep_reference(a, levels, std::span<const T>(r.data(), r.size()),
-                       std::span<T>(z.data(), z.size()),
-                       std::span<T>(t.data(), t.size()));
-    benchmark::DoNotOptimize(z.data());
-  }
-  state.counters["levels"] = levels.num_groups();
-}
-
-template <typename T>
-void bm_gs_multicolor(benchmark::State& state) {
-  const Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
-  const CsrMatrix<T> a = prob.a.convert<T>();
-  const EllMatrix<T> e = ell_from_csr(a);
+  const local_index_t n = e.num_rows;
+  const char* fmt = PrecisionTraits<T>::name.data();
   const auto colors = jpl_color(a, 42);
   const RowPartition part = color_partition(colors);
-  AlignedVector<T> r(static_cast<std::size_t>(a.num_rows), T(1));
-  AlignedVector<T> z(static_cast<std::size_t>(a.num_cols), T(0));
-  for (auto _ : state) {
-    gs_sweep_colored_ell(e, part, std::span<const T>(r.data(), r.size()),
-                         std::span<T>(z.data(), z.size()));
-    benchmark::DoNotOptimize(z.data());
+  AlignedVector<T> r(static_cast<std::size_t>(n), T(1));
+  AlignedVector<T> z(static_cast<std::size_t>(e.num_cols), T(0));
+  const double b = gs_sweep_bytes(e.padded_nnz(), n, PrecisionTraits<T>::bytes);
+  out.push_back(
+      make_row("gs_multicolor_ell", fmt, "scalar", b, n, target, [&] {
+        gs_sweep_colored_ell_scalar(e, part,
+                                    std::span<const T>(r.data(), r.size()),
+                                    std::span<T>(z.data(), z.size()));
+      }));
+  if constexpr (detail::is_16bit_value_v<T>) {
+    out.push_back(
+        make_row("gs_multicolor_ell", fmt, "staged", b, n, target, [&] {
+          gs_sweep_colored_ell(e, part, std::span<const T>(r.data(), r.size()),
+                               std::span<T>(z.data(), z.size()));
+        }));
   }
-  state.counters["colors"] = part.num_groups();
 }
 
 template <typename T>
-void bm_restrict_fused(benchmark::State& state) {
-  Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
-  const CoarseLevel cl = coarsen(prob);
+void add_fused(std::vector<Row>& out, const Problem& prob, double target) {
   const CsrMatrix<T> a = prob.a.convert<T>();
-  AlignedVector<T> b(static_cast<std::size_t>(a.num_rows), T(1));
-  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(0.5));
-  AlignedVector<T> rc(cl.c2f.size(), T(0));
-  for (auto _ : state) {
-    fused_restrict_residual(
-        a, std::span<const T>(b.data(), b.size()),
-        std::span<const T>(x.data(), x.size()),
-        std::span<const local_index_t>(cl.c2f.data(), cl.c2f.size()),
-        std::span<T>(rc.data(), rc.size()));
-    benchmark::DoNotOptimize(rc.data());
-  }
+  const local_index_t n = a.num_rows;
+  const std::size_t vb = PrecisionTraits<T>::bytes;
+  const char* fmt = PrecisionTraits<T>::name.data();
+  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(1));
+  AlignedVector<T> y(static_cast<std::size_t>(n), T(0));
+  AlignedVector<T> b(static_cast<std::size_t>(n), T(1));
+  AlignedVector<T> w(static_cast<std::size_t>(n), T(0));
+  volatile double sink = 0;
+
+  out.push_back(make_row("spmv_dot", fmt, "fused",
+                         spmv_dot_bytes(a.nnz(), n, vb), n, target, [&] {
+                           sink = csr_spmv_dot(
+                               a, std::span<const T>(x.data(), x.size()),
+                               std::span<T>(y.data(), y.size()));
+                         }));
+  out.push_back(make_row(
+      "spmv_dot", fmt, "unfused",
+      spmv_bytes(a.nnz(), n, vb) + dot_bytes<T>(n), n, target, [&] {
+        csr_spmv(a, std::span<const T>(x.data(), x.size()),
+                 std::span<T>(y.data(), y.size()));
+        sink = dot_span_blocked(
+            std::span<const T>(y.data(), y.size()),
+            std::span<const T>(x.data(), static_cast<std::size_t>(n)));
+      }));
+  out.push_back(make_row("residual_norm", fmt, "fused",
+                         residual_norm_bytes(a.nnz(), n, vb), n, target, [&] {
+                           sink = csr_residual_norm2(
+                               a, std::span<const T>(b.data(), b.size()),
+                               std::span<const T>(x.data(), x.size()),
+                               std::span<T>(y.data(), y.size()));
+                         }));
+  out.push_back(make_row(
+      "residual_norm", fmt, "unfused",
+      residual_bytes(a.nnz(), n, vb) + dot_bytes<T>(n), n, target, [&] {
+        csr_residual(a, std::span<const T>(b.data(), b.size()),
+                     std::span<const T>(x.data(), x.size()),
+                     std::span<T>(y.data(), y.size()));
+        sink = dot_span_blocked(std::span<const T>(y.data(), y.size()),
+                                std::span<const T>(y.data(), y.size()));
+      }));
+  out.push_back(make_row(
+      "waxpby_norm", fmt, "fused", waxpby_norm_bytes(n, vb), 0, target, [&] {
+        sink = waxpby_norm(2.0,
+                           std::span<const T>(b.data(), b.size()), 3.0,
+                           std::span<const T>(y.data(), y.size()),
+                           std::span<T>(w.data(), w.size()));
+      }));
+  out.push_back(make_row(
+      "waxpby_norm", fmt, "unfused",
+      3.0 * static_cast<double>(n) * static_cast<double>(vb) + dot_bytes<T>(n),
+      0, target, [&] {
+        waxpby(2.0, std::span<const T>(b.data(), b.size()), 3.0,
+               std::span<const T>(y.data(), y.size()),
+               std::span<T>(w.data(), w.size()));
+        sink = dot_span_blocked(std::span<const T>(w.data(), w.size()),
+                                std::span<const T>(w.data(), w.size()));
+      }));
+  (void)sink;
 }
 
 template <typename T>
-void bm_restrict_unfused(benchmark::State& state) {
-  Problem prob = make_problem(static_cast<local_index_t>(state.range(0)));
-  const CoarseLevel cl = coarsen(prob);
-  const CsrMatrix<T> a = prob.a.convert<T>();
-  AlignedVector<T> b(static_cast<std::size_t>(a.num_rows), T(1));
-  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(0.5));
-  AlignedVector<T> rf(static_cast<std::size_t>(a.num_rows), T(0));
-  AlignedVector<T> rc(cl.c2f.size(), T(0));
-  for (auto _ : state) {
-    csr_residual(a, std::span<const T>(b.data(), b.size()),
-                 std::span<const T>(x.data(), x.size()),
-                 std::span<T>(rf.data(), rf.size()));
-    inject_restrict(std::span<const local_index_t>(cl.c2f.data(), cl.c2f.size()),
-                    std::span<const T>(rf.data(), rf.size()),
-                    std::span<T>(rc.data(), rc.size()));
-    benchmark::DoNotOptimize(rc.data());
-  }
+void add_convert(std::vector<Row>& out, std::size_t len, double target) {
+  const char* fmt = PrecisionTraits<T>::name.data();
+  AlignedVector<T> narrow(len, T(1.5f));
+  AlignedVector<float> wide(len, 0.0f);
+  const double bytes =
+      static_cast<double>(len) * (sizeof(T) + sizeof(float));
+
+  out.push_back(make_row("convert_widen", fmt, "batched", bytes, 0, target,
+                         [&] {
+                           convert_span(
+                               std::span<const T>(narrow.data(), len),
+                               std::span<float>(wide.data(), len));
+                         }));
+  out.push_back(make_row("convert_widen", fmt, "scalar", bytes, 0, target,
+                         [&] {
+                           const T* __restrict s = narrow.data();
+                           float* __restrict d = wide.data();
+#pragma omp parallel for schedule(static)
+                           for (std::size_t i = 0; i < len; ++i) {
+                             d[i] = static_cast<float>(s[i]);
+                           }
+                         }));
+  out.push_back(make_row("convert_narrow", fmt, "batched", bytes, 0, target,
+                         [&] {
+                           convert_span(
+                               std::span<const float>(wide.data(), len),
+                               std::span<T>(narrow.data(), len));
+                         }));
+  out.push_back(make_row("convert_narrow", fmt, "scalar", bytes, 0, target,
+                         [&] {
+                           const float* __restrict s = wide.data();
+                           T* __restrict d = narrow.data();
+#pragma omp parallel for schedule(static)
+                           for (std::size_t i = 0; i < len; ++i) {
+                             d[i] = static_cast<T>(s[i]);
+                           }
+                         }));
 }
 
 template <typename T>
-void bm_dot(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  AlignedVector<T> x(n, T(1.5)), y(n, T(0.5));
-  SelfComm comm;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dot<T>(comm, std::span<const T>(x.data(), n),
-                                    std::span<const T>(y.data(), n)));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(2 * n * sizeof(T)));
+void add_blas1(std::vector<Row>& out, std::size_t len, double target) {
+  const char* fmt = PrecisionTraits<T>::name.data();
+  AlignedVector<T> x(len, T(1.5f)), y(len, T(0.5f)), w(len, T(0));
+  volatile double sink = 0;
+  out.push_back(make_row(
+      "dot", fmt, "blocked", 2.0 * static_cast<double>(len) * sizeof(T), 0,
+      target, [&] {
+        sink = dot_span_blocked(std::span<const T>(x.data(), len),
+                                std::span<const T>(y.data(), len));
+      }));
+  out.push_back(make_row(
+      "waxpby", fmt, "scalar", 3.0 * static_cast<double>(len) * sizeof(T), 0,
+      target, [&] {
+        waxpby(2.0, std::span<const T>(x.data(), len), 3.0,
+               std::span<const T>(y.data(), len), std::span<T>(w.data(), len));
+      }));
+  (void)sink;
 }
 
-template <typename T>
-void bm_waxpby(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  AlignedVector<T> x(n, T(1.5)), y(n, T(0.5)), w(n, T(0));
-  for (auto _ : state) {
-    waxpby(2.0, std::span<const T>(x.data(), n), 3.0,
-           std::span<const T>(y.data(), n), std::span<T>(w.data(), n));
-    benchmark::DoNotOptimize(w.data());
+[[nodiscard]] const Row* find_row(const std::vector<Row>& rows,
+                                  const char* kernel, const char* format,
+                                  const char* variant) {
+  for (const Row& r : rows) {
+    if (r.kernel == kernel && r.format == format && r.variant == variant) {
+      return &r;
+    }
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(3 * n * sizeof(T)));
+  return nullptr;
+}
+
+void print_json(const std::vector<Row>& rows, local_index_t nx, bool gate_pass,
+                double bf16_speedup, double fp16_speedup) {
+  std::printf("{\n");
+  std::printf("  \"exhibit\": \"micro_kernels\",\n");
+  std::printf("  \"local_grid\": [%d, %d, %d],\n", nx, nx, nx);
+  std::printf("  \"kernels\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"kernel\": \"%s\", \"format\": \"%s\", "
+                "\"variant\": \"%s\", \"gbs\": %.6g, \"bytes_per_row\": %.6g, "
+                "\"modeled_bytes\": %.6g, \"seconds_per_call\": %.6g, "
+                "\"reps\": %d}%s\n",
+                r.kernel.c_str(), r.format.c_str(), r.variant.c_str(), r.gbs(),
+                r.bytes_per_row, r.bytes, r.seconds, r.reps,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"staged_16bit_spmv_speedup\": "
+              "{\"bf16\": %.6g, \"fp16\": %.6g},\n",
+              bf16_speedup, fp16_speedup);
+  std::printf("  \"gate\": {\"rule\": \"16-bit ELL SpMV modeled bytes/row "
+              "strictly below fp32\", \"pass\": %s}\n",
+              gate_pass ? "true" : "false");
+  std::printf("}\n");
 }
 
 }  // namespace
 
-BENCHMARK(bm_spmv_csr<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_spmv_csr<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_spmv_ell<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_spmv_ell<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_spmv_ell<bf16_t>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_spmv_ell<fp16_t>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_gs_levelsched<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_gs_multicolor<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_gs_multicolor<float>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_gs_multicolor<bf16_t>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_restrict_fused<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_restrict_unfused<double>)->Arg(32)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_dot<double>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_dot<float>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_dot<bf16_t>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_waxpby<double>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_waxpby<float>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
-BENCHMARK(bm_waxpby<fp16_t>)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
-
-// BENCHMARK_MAIN with a `--json` shorthand spliced in front of Google
-// Benchmark's own flag parsing.
 int main(int argc, char** argv) {
-  std::vector<std::string> storage(argv, argv + argc);
-  for (std::string& arg : storage) {
-    if (arg == "--json") {
-      arg = "--benchmark_format=json";
+  const bool json = bench::has_flag(argc, argv, "--json");
+  const auto nx =
+      static_cast<local_index_t>(env_int_or("HPGMX_NX", 32));
+  const double target = env_double_or("HPGMX_BENCH_SECONDS", 0.15);
+  if (!json) {
+    bench::banner("micro_kernels",
+                  "per-kernel ablations: CSR/ELL, scalar vs staged 16-bit, "
+                  "fused vs unfused solver passes, batched conversions");
+  }
+
+  const Problem prob = make_problem(nx);
+  // BLAS1/conversion rows need a DRAM-resident working set or they measure
+  // cache bandwidth instead of the memory wall; floor at 1M elements.
+  const std::size_t veclen =
+      std::max<std::size_t>(static_cast<std::size_t>(prob.a.num_rows),
+                            std::size_t{1} << 20);
+  std::vector<Row> rows;
+
+  add_spmv<double>(rows, prob, target);
+  add_spmv<float>(rows, prob, target);
+  add_spmv<bf16_t>(rows, prob, target);
+  add_spmv<fp16_t>(rows, prob, target);
+  add_gs<float>(rows, prob, target);
+  add_gs<bf16_t>(rows, prob, target);
+  add_fused<float>(rows, prob, target);
+  add_fused<bf16_t>(rows, prob, target);
+  add_convert<bf16_t>(rows, veclen, target);
+  add_convert<fp16_t>(rows, veclen, target);
+  add_blas1<double>(rows, veclen, target);
+  add_blas1<float>(rows, veclen, target);
+  add_blas1<bf16_t>(rows, veclen, target);
+
+  // Staged-vs-scalar 16-bit SpMV speedup (same kernel, same modeled bytes,
+  // so the GB/s ratio is a pure time ratio).
+  auto speedup = [&](const char* fmt) {
+    const Row* staged = find_row(rows, "spmv_ell", fmt, "staged");
+    const Row* scalar = find_row(rows, "spmv_ell", fmt, "scalar");
+    return (staged != nullptr && scalar != nullptr && staged->seconds > 0)
+               ? scalar->seconds / staged->seconds
+               : 0.0;
+  };
+  const double bf16_speedup = speedup("bf16");
+  const double fp16_speedup = speedup("fp16");
+
+  // Smoke gate for CI: the memory-wall invariant. A 16-bit ELL SpMV must
+  // model strictly fewer bytes per row than the fp32 kernel; if a format or
+  // layout change regresses that, the whole mixed-precision speedup story
+  // is broken and the benchmark exits nonzero.
+  const Row* f32 = find_row(rows, "spmv_ell", "fp32", "scalar");
+  bool gate_pass = f32 != nullptr;
+  for (const Row& r : rows) {
+    if (r.kernel == "spmv_ell" && (r.format == "bf16" || r.format == "fp16")) {
+      gate_pass = gate_pass && f32 != nullptr &&
+                  r.bytes_per_row < f32->bytes_per_row;
     }
   }
-  std::vector<char*> args;
-  args.reserve(storage.size());
-  for (std::string& arg : storage) {
-    args.push_back(arg.data());
+
+  if (json) {
+    print_json(rows, nx, gate_pass, bf16_speedup, fp16_speedup);
+  } else {
+    std::printf("%-16s %-6s %-8s %10s %12s %12s %7s\n", "kernel", "format",
+                "variant", "GB/s", "bytes/row", "us/call", "reps");
+    for (const Row& r : rows) {
+      std::printf("%-16s %-6s %-8s %10.2f %12.1f %12.2f %7d\n",
+                  r.kernel.c_str(), r.format.c_str(), r.variant.c_str(),
+                  r.gbs(), r.bytes_per_row, r.seconds * 1e6, r.reps);
+    }
+    std::printf("\nstaged 16-bit ELL SpMV speedup vs scalar: bf16 %.2fx, "
+                "fp16 %.2fx\n",
+                bf16_speedup, fp16_speedup);
+    std::printf("gate (16-bit SpMV bytes/row < fp32): %s\n",
+                gate_pass ? "PASS" : "FAIL");
   }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return gate_pass ? 0 : 1;
 }

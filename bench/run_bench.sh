@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Produce the BENCH_kernels.json perf-trajectory artifact from the kernel
+# microbenchmarks. Usage:
+#
+#   bench/run_bench.sh [output.json]
+#
+# Env: BUILD_DIR (default: build), plus the usual HPGMX_* scale knobs
+# (HPGMX_NX, HPGMX_BENCH_SECONDS, ...). Exits nonzero when the benchmark's
+# 16-bit bytes/row gate fails, so CI can call this directly.
+set -eu
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_kernels.json}
+BIN="$BUILD_DIR/bench/micro_kernels"
+
+if [ ! -x "$BIN" ]; then
+  echo "run_bench.sh: $BIN not found — build first (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+"$BIN" --json > "$OUT"
+echo "run_bench.sh: wrote $OUT" >&2

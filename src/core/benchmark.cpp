@@ -97,6 +97,7 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
   val_opts.restart = params_.restart_length;
   val_opts.max_iters = params_.validation_max_iters;
   val_opts.tol = params_.validation_tol;
+  val_opts.fused_passes = params_.fused;
 
   // Pass 1: double-precision GMRES from a zero guess. The result depends
   // only on the problem and rank count (not on inner_precision), so it is
@@ -197,6 +198,7 @@ PhaseResult BenchmarkDriver::run_phase_impl(bool mixed) {
   opts.restart = params_.restart_length;
   opts.max_iters = params_.max_iters_per_solve;
   opts.tol = 0.0;  // benchmark phases run a fixed iteration count
+  opts.fused_passes = params_.fused;
 
   std::vector<MotifStats> rank_stats(static_cast<std::size_t>(num_ranks_));
   std::vector<double> rank_wall(static_cast<std::size_t>(num_ranks_), 0.0);

@@ -155,4 +155,47 @@ template <typename T>
   return 3.0 * static_cast<double>(n) * PrecisionTraits<T>::bytes;
 }
 
+// Fused solver passes: the reduction rides on data the producing kernel
+// already holds in registers, so the fused pass costs exactly the producing
+// kernel's traffic. What the fusion *saves* is the separate reduction sweep
+// the unfused sequence pays (dot_bytes for spmv_dot's ⟨Av,v⟩ and
+// waxpby_norm's / residual_norm2's ‖·‖²).
+
+/// w = A·v with ⟨w,v⟩ folded in: SpMV traffic only.
+[[nodiscard]] constexpr double spmv_dot_bytes(std::int64_t nnz, local_index_t n,
+                                              std::size_t value_bytes) {
+  return spmv_bytes(nnz, n, value_bytes);
+}
+
+/// w = αx + βy with ‖w‖² folded in: WAXPBY traffic only.
+[[nodiscard]] constexpr double waxpby_norm_bytes(local_index_t n,
+                                                 std::size_t value_bytes) {
+  return 3.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
+}
+
+/// r = b − Ax with ‖r‖² folded in: residual traffic only.
+[[nodiscard]] constexpr double residual_norm_bytes(std::int64_t nnz,
+                                                   local_index_t n,
+                                                   std::size_t value_bytes) {
+  return residual_bytes(nnz, n, value_bytes);
+}
+
+template <typename T>
+[[nodiscard]] constexpr double spmv_dot_bytes(std::int64_t nnz,
+                                              local_index_t n) {
+  return spmv_dot_bytes(nnz, n, PrecisionTraits<T>::bytes);
+}
+
+template <typename T>
+[[nodiscard]] constexpr double waxpby_norm_bytes(local_index_t n) {
+  // Identical to the plain WAXPBY by design — the fused norm is free.
+  return waxpby_bytes<T>(n);
+}
+
+template <typename T>
+[[nodiscard]] constexpr double residual_norm_bytes(std::int64_t nnz,
+                                                   local_index_t n) {
+  return residual_norm_bytes(nnz, n, PrecisionTraits<T>::bytes);
+}
+
 }  // namespace hpgmx

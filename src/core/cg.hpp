@@ -147,15 +147,20 @@ class ConjugateGradient {
     }
     a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
                  std::span<T>(r.data(), r.size()));
+    // ‖r‖² of the initial residual; every later iteration carries it out of
+    // the fused residual-update pass (waxpby_norm) below.
+    double rho2;
+    {
+      ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+      rho2 = comm.allreduce_scalar(
+          dot_span_blocked(std::span<const T>(r.data(), r.size()),
+                           std::span<const T>(r.data(), r.size())),
+          ReduceOp::Sum);
+    }
 
     double rz_old = 0.0;
     while (result.iterations < opts_.max_iters) {
-      double rho;
-      {
-        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
-        rho = static_cast<double>(
-            nrm2<T>(comm, std::span<const T>(r.data(), r.size())));
-      }
+      const double rho = std::sqrt(rho2);
       result.relative_residual = rho / rho0;
       if (opts_.track_history) {
         result.history.push_back(result.relative_residual);
@@ -192,24 +197,42 @@ class ConjugateGradient {
         }
       }
       rz_old = rz;
-      a_->spmv(comm, std::span<T>(p_full.data(), p_full.size()),
-               std::span<T>(ap.data(), ap.size()));
-      double pap;
-      {
-        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
-        pap = dot<double>(comm,
-                          std::span<const T>(p_full.data(), static_cast<std::size_t>(n)),
-                          std::span<const T>(ap.data(), ap.size()));
-      }
+      // w = A p with ⟨Ap, p⟩ in the same sweep (spmv_dot); the unfused leg
+      // recomputes the identical blocked dot in a second pass.
+      const double pap =
+          opts_.fused_passes
+              ? a_->spmv_dot(comm, std::span<T>(p_full.data(), p_full.size()),
+                             std::span<T>(ap.data(), ap.size()))
+              : a_->spmv_then_dot(comm,
+                                  std::span<T>(p_full.data(), p_full.size()),
+                                  std::span<T>(ap.data(), ap.size()));
       HPGMX_CHECK_MSG(pap > 0, "CG: matrix is not positive definite");
       const double alpha = rz / pap;
       {
-        ScopedMotif sm(stats_, Motif::Vector, 2 * waxpby_flops(n));
+        ScopedMotif sm(stats_, Motif::Vector, waxpby_flops(n));
         axpy(alpha, std::span<const T>(p_full.data(), static_cast<std::size_t>(n)),
              std::span<T>(x_full.data(), static_cast<std::size_t>(n)));
-        axpy(-alpha, std::span<const T>(ap.data(), ap.size()),
-             std::span<T>(r.data(), r.size()));
       }
+      // r ← r − alpha·Ap fused with the next iteration's ‖r‖² (waxpby_norm):
+      // the unfused leg runs the same WAXPBY then the same blocked dot as a
+      // separate read sweep.
+      double rho2_local;
+      {
+        ScopedMotif sm(stats_, Motif::Vector,
+                       waxpby_flops(n) + dot_flops(n));
+        const std::span<const T> rc(r.data(), r.size());
+        const std::span<const T> apc(ap.data(), ap.size());
+        if (opts_.fused_passes) {
+          rho2_local = waxpby_norm(1.0, rc, -alpha, apc,
+                                   std::span<T>(r.data(), r.size()));
+        } else {
+          waxpby(1.0, rc, -alpha, apc, std::span<T>(r.data(), r.size()));
+          rho2_local =
+              dot_span_blocked(std::span<const T>(r.data(), r.size()),
+                               std::span<const T>(r.data(), r.size()));
+        }
+      }
+      rho2 = comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
       ++result.iterations;
     }
 

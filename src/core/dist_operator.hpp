@@ -134,12 +134,97 @@ class DistOperator {
                   epoch_seconds());
   }
 
+  /// Fused y = A x with the distributed ⟨y, x⟩ over owned rows folded into
+  /// the same sweep (one allreduce). The local dot is an ordered per-block
+  /// partial sum: on the reference path over row blocks, on the optimized
+  /// path interior-list partials then boundary-list partials — exactly the
+  /// sums spmv_then_dot() computes in a second pass, so the fused/unfused
+  /// solver toggle flips memory traffic without perturbing one bit.
+  [[nodiscard]] double spmv_dot(Comm& comm, std::span<T> x, std::span<T> y) {
+    ScopedMotif sm(stats_, Motif::SpMV, spmv_flops(nnz()));
+    if (stats_ != nullptr) {
+      stats_->add_flops(Motif::SpMV, dot_flops(num_owned()));
+    }
+    double local;
+    if (opt_ == OptLevel::Reference) {
+      halo_exchange_.exchange(comm, x, sink_);
+      local = csr_spmv_dot(csr_, std::span<const T>(x.data(), x.size()), y);
+    } else {
+      halo_exchange_.begin(comm, x, sink_);
+      const double t0 = epoch_seconds();
+      const double interior = ell_spmv_rows_dot(
+          ell_, std::span<const T>(x.data(), x.size()), y,
+          structure_->interior_rows);
+      sink_->record(comm.rank(), "compute", "interior-spmv", t0,
+                    epoch_seconds());
+      halo_exchange_.finish(comm, sink_);
+      const double t1 = epoch_seconds();
+      const double boundary = ell_spmv_rows_dot(
+          ell_, std::span<const T>(x.data(), x.size()), y,
+          structure_->boundary_rows);
+      sink_->record(comm.rank(), "compute", "boundary-spmv", t1,
+                    epoch_seconds());
+      local = interior + boundary;
+    }
+    return comm.allreduce_scalar(local, ReduceOp::Sum);
+  }
+
+  /// Unfused reference sequence for spmv_dot: the product, then a second
+  /// full sweep for the dot with the same partial ordering. Same bits,
+  /// one extra pass over y and x — the solvers' fused_passes=false leg.
+  [[nodiscard]] double spmv_then_dot(Comm& comm, std::span<T> x,
+                                     std::span<T> y) {
+    spmv(comm, x, y);
+    // The extra reduction sweep is timed under the same motif the fused
+    // kernel folds it into, so fused/unfused breakdowns stay comparable.
+    ScopedMotif sm(stats_, Motif::SpMV, dot_flops(num_owned()));
+    const std::span<const T> xc(x.data(), x.size());
+    const std::span<const T> yc(y.data(), y.size());
+    double local;
+    if (opt_ == OptLevel::Reference) {
+      local = dot_span_blocked(
+          std::span<const T>(yc.data(), static_cast<std::size_t>(num_owned())),
+          std::span<const T>(xc.data(), static_cast<std::size_t>(num_owned())));
+    } else {
+      local = dot_rows_blocked(yc, xc, structure_->interior_rows) +
+              dot_rows_blocked(yc, xc, structure_->boundary_rows);
+    }
+    return comm.allreduce_scalar(local, ReduceOp::Sum);
+  }
+
   /// r = b − A x (owned rows).
   void residual(Comm& comm, std::span<const T> b, std::span<T> x,
                 std::span<T> r) {
     ScopedMotif sm(stats_, Motif::SpMV, residual_flops(nnz(), num_owned()));
     halo_exchange_.exchange(comm, x, sink_);
     csr_residual(csr_, b, std::span<const T>(x.data(), x.size()), r);
+  }
+
+  /// Fused r = b − A x with the distributed ‖r‖² in the same sweep (the
+  /// update+norm fusion of the refinement residual; one allreduce). Same
+  /// ordered-partial contract as spmv_dot: bit-identical to residual()
+  /// followed by dot_span_blocked(r, r), minus a full read sweep of r.
+  [[nodiscard]] double residual_norm2(Comm& comm, std::span<const T> b,
+                                      std::span<T> x, std::span<T> r) {
+    ScopedMotif sm(stats_, Motif::SpMV, residual_flops(nnz(), num_owned()));
+    if (stats_ != nullptr) {
+      stats_->add_flops(Motif::SpMV, dot_flops(num_owned()));
+    }
+    halo_exchange_.exchange(comm, x, sink_);
+    const double local =
+        csr_residual_norm2(csr_, b, std::span<const T>(x.data(), x.size()), r);
+    return comm.allreduce_scalar(local, ReduceOp::Sum);
+  }
+
+  /// Unfused reference sequence for residual_norm2 (fused_passes=false leg).
+  [[nodiscard]] double residual_then_norm2(Comm& comm, std::span<const T> b,
+                                           std::span<T> x, std::span<T> r) {
+    residual(comm, b, x, r);
+    ScopedMotif sm(stats_, Motif::SpMV, dot_flops(num_owned()));
+    const auto n = static_cast<std::size_t>(num_owned());
+    const double local = dot_span_blocked(std::span<const T>(r.data(), n),
+                                          std::span<const T>(r.data(), n));
+    return comm.allreduce_scalar(local, ReduceOp::Sum);
   }
 
   /// One forward Gauss–Seidel sweep on A z = r. z is full-length; its halo

@@ -22,6 +22,12 @@ struct SolverOptions {
   int max_iters = 300;
   double tol = 1e-9;  ///< relative to ||b||
   bool track_history = false;
+  /// Use the single-pass fused kernels (spmv_dot, waxpby_norm,
+  /// residual_norm2) in GmresIr/CG. The unfused sequence computes the same
+  /// ordered per-block reductions in a second memory sweep, so flipping
+  /// this changes bytes moved but not one bit of the iteration — a property
+  /// tests/test_fused.cpp asserts.
+  bool fused_passes = true;
 };
 
 struct SolveResult {

@@ -93,15 +93,18 @@ class GmresIr {
 
     bool aborted = false;
     while (result.iterations < opts_.max_iters) {
-      // -- outer refinement step, REQUIRED double (alg. 3 line 7) ----------
-      a_high_->residual(comm, b,
-                        std::span<double>(x_full.data(), x_full.size()),
-                        std::span<double>(r.data(), r.size()));
-      double rho;
-      {
-        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
-        rho = nrm2<double>(comm, std::span<const double>(r.data(), r.size()));
-      }
+      // -- outer refinement step, REQUIRED double (alg. 3 line 7), with
+      //    ‖r‖² folded into the residual sweep (fused) or recomputed in a
+      //    second bit-identical pass (unfused) --------------------------
+      const double rho2 =
+          opts_.fused_passes
+              ? a_high_->residual_norm2(
+                    comm, b, std::span<double>(x_full.data(), x_full.size()),
+                    std::span<double>(r.data(), r.size()))
+              : a_high_->residual_then_norm2(
+                    comm, b, std::span<double>(x_full.data(), x_full.size()),
+                    std::span<double>(r.data(), r.size()));
+      const double rho = std::sqrt(rho2);
       result.relative_residual = rho / rho0;
       if (opts_.track_history) {
         result.history.push_back(result.relative_residual);
@@ -249,12 +252,15 @@ class GmresIr {
     }
 
     if (!result.converged && !aborted) {
-      a_high_->residual(comm, b,
-                        std::span<double>(x_full.data(), x_full.size()),
-                        std::span<double>(r.data(), r.size()));
-      const double rho =
-          nrm2<double>(comm, std::span<const double>(r.data(), r.size()));
-      result.relative_residual = rho / rho0;
+      const double rho2 =
+          opts_.fused_passes
+              ? a_high_->residual_norm2(
+                    comm, b, std::span<double>(x_full.data(), x_full.size()),
+                    std::span<double>(r.data(), r.size()))
+              : a_high_->residual_then_norm2(
+                    comm, b, std::span<double>(x_full.data(), x_full.size()),
+                    std::span<double>(r.data(), r.size()));
+      result.relative_residual = std::sqrt(rho2) / rho0;
       result.converged = result.relative_residual < opts_.tol;
     }
     for (local_index_t i = 0; i < n; ++i) {

@@ -61,6 +61,11 @@ struct BenchParams {
 
   OptLevel opt = OptLevel::Optimized;
 
+  /// Single-pass fused solver kernels (spmv_dot / waxpby_norm /
+  /// residual_norm2). Disabling runs the bit-identical unfused sequences —
+  /// same iterates, one extra memory sweep per reduction (HPGMX_FUSED=0).
+  bool fused = true;
+
   /// Storage precision of the inner GMRES-IR cycles (the paper's fp32
   /// column by default; bf16/fp16 open the sub-32-bit territory). When a
   /// non-empty `precision_schedule` is set this always equals its entry
@@ -98,6 +103,7 @@ struct BenchParams {
     p.mg_levels = static_cast<int>(env_int_or("HPGMX_MG_LEVELS", p.mg_levels));
     p.bench_seconds = env_double_or("HPGMX_BENCH_SECONDS", p.bench_seconds);
     p.gamma = env_double_or("HPGMX_GAMMA", p.gamma);
+    p.fused = env_int_or("HPGMX_FUSED", p.fused ? 1 : 0) != 0;
     p.inner_precision = precision_from_env("HPGMX_PRECISION", p.inner_precision);
     p.set_precision_schedule(schedule_from_env("HPGMX_PRECISION_SCHEDULE"));
     if (const auto opt = env_string("HPGMX_OPT"); opt.has_value()) {

@@ -14,6 +14,7 @@
 #include "base/aligned_vector.hpp"
 #include "base/error.hpp"
 #include "base/types.hpp"
+#include "precision/convert_batch.hpp"
 
 namespace hpgmx {
 
@@ -76,7 +77,8 @@ struct CsrMatrix {
   /// Deep-convert values to another precision (structure shared by copy).
   /// `value_scale` is applied in the source precision before demotion — the
   /// ScaleGuard's equilibration hook for narrow-exponent targets; the
-  /// default 1.0 reproduces a plain conversion bit for bit.
+  /// default 1.0 reproduces a plain conversion bit for bit and streams
+  /// through the batched block primitives (convert_batch.hpp).
   template <typename U>
   [[nodiscard]] CsrMatrix<U> convert(double value_scale = 1.0) const {
     CsrMatrix<U> out;
@@ -86,13 +88,21 @@ struct CsrMatrix {
     out.row_ptr = row_ptr;
     out.col_idx = col_idx;
     out.values.resize(values.size());
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      out.values[i] =
-          static_cast<U>(static_cast<double>(values[i]) * value_scale);
-    }
     out.diag.resize(diag.size());
-    for (std::size_t i = 0; i < diag.size(); ++i) {
-      out.diag[i] = static_cast<U>(static_cast<double>(diag[i]) * value_scale);
+    if (value_scale == 1.0) {
+      convert_span(std::span<const T>(values.data(), values.size()),
+                   std::span<U>(out.values.data(), out.values.size()));
+      convert_span(std::span<const T>(diag.data(), diag.size()),
+                   std::span<U>(out.diag.data(), out.diag.size()));
+    } else {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out.values[i] =
+            static_cast<U>(static_cast<double>(values[i]) * value_scale);
+      }
+      for (std::size_t i = 0; i < diag.size(); ++i) {
+        out.diag[i] =
+            static_cast<U>(static_cast<double>(diag[i]) * value_scale);
+      }
     }
     out.diag_pos = diag_pos;
     return out;

@@ -14,9 +14,11 @@
 // HPCG/rocHPCG.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "base/types.hpp"
+#include "precision/convert_batch.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/row_partition.hpp"
@@ -105,17 +107,20 @@ inline T gs_row_update_ell(const local_index_t n, const local_index_t slots,
 /// one color are sorted).
 inline constexpr std::size_t kGsBlockRows = 1024;
 
-/// Blocked relaxation update over a sorted row list (one independent set or
-/// a subset of it): slot loop outside the block so the slot-major arrays
-/// stream instead of striding by num_rows per row.
+/// Scalar blocked relaxation update over a sorted row list (one independent
+/// set or a subset of it): slot loop outside the block so the slot-major
+/// arrays stream instead of striding by num_rows per row. This is the
+/// ablation baseline for the staged 16-bit path below (and the production
+/// kernel for the hardware types).
 template <typename T>
-void gs_update_rows_ell_blocked(const local_index_t n,
-                                const local_index_t slots,
-                                const local_index_t* __restrict ci,
-                                const T* __restrict av,
-                                const T* __restrict dv,
-                                const T* __restrict rv, T* __restrict zv,
-                                std::span<const local_index_t> rows) {
+void gs_update_rows_ell_blocked_scalar(const local_index_t n,
+                                       const local_index_t slots,
+                                       const local_index_t* __restrict ci,
+                                       const T* __restrict av,
+                                       const T* __restrict dv,
+                                       const T* __restrict rv,
+                                       T* __restrict zv,
+                                       std::span<const local_index_t> rows) {
   const std::size_t nk = rows.size();
   const std::size_t nblocks = (nk + kGsBlockRows - 1) / kGsBlockRows;
 #pragma omp parallel for schedule(static)
@@ -138,6 +143,87 @@ void gs_update_rows_ell_blocked(const local_index_t n,
       const local_index_t row = rows[k];
       zv[row] = (acc[k - k0] + dv[row] * zv[row]) / dv[row];
     }
+  }
+}
+
+/// Staged 16-bit relaxation update: per slot, gather the value/solution
+/// tiles through the row list, widen them into fp32 staging buffers with
+/// the batched primitives (convert_batch.hpp), and FMA at unit stride —
+/// the scalar loop converts every operand individually inside the hot loop
+/// and never vectorizes. The final diagonal solve runs on widened tiles
+/// too, with one batched narrow on the store.
+template <typename T>
+void gs_update_rows_ell_staged16(const local_index_t n,
+                                 const local_index_t slots,
+                                 const local_index_t* __restrict ci,
+                                 const T* __restrict av,
+                                 const T* __restrict dv,
+                                 const T* __restrict rv, T* __restrict zv,
+                                 std::span<const local_index_t> rows) {
+  static_assert(is_16bit_value_v<T>);
+  const std::size_t nk = rows.size();
+  const std::size_t nblocks = (nk + kGsBlockRows - 1) / kGsBlockRows;
+#pragma omp parallel for schedule(static)
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::size_t k0 = blk * kGsBlockRows;
+    const std::size_t len = std::min(nk, k0 + kGsBlockRows) - k0;
+    const local_index_t* __restrict rws = rows.data() + k0;
+    float acc[kGsBlockRows];
+    float vstage[kGsBlockRows];
+    float zstage[kGsBlockRows];
+    T vtile[kGsBlockRows];
+    T ztile[kGsBlockRows];
+    for (std::size_t k = 0; k < len; ++k) {
+      ztile[k] = rv[rws[k]];
+    }
+    widen_block(ztile, acc, len);
+    for (local_index_t s = 0; s < slots; ++s) {
+      const std::size_t base =
+          static_cast<std::size_t>(s) * static_cast<std::size_t>(n);
+      for (std::size_t k = 0; k < len; ++k) {
+        const std::size_t at = base + static_cast<std::size_t>(rws[k]);
+        vtile[k] = av[at];
+        ztile[k] = zv[ci[at]];
+      }
+      widen_block(vtile, vstage, len);
+      widen_block(ztile, zstage, len);
+#pragma omp simd
+      for (std::size_t k = 0; k < len; ++k) {
+        acc[k] -= vstage[k] * zstage[k];
+      }
+    }
+    // (acc + d·z_old) / d on widened diagonal/solution tiles, narrowed once.
+    for (std::size_t k = 0; k < len; ++k) {
+      vtile[k] = dv[rws[k]];
+      ztile[k] = zv[rws[k]];
+    }
+    widen_block(vtile, vstage, len);
+    widen_block(ztile, zstage, len);
+#pragma omp simd
+    for (std::size_t k = 0; k < len; ++k) {
+      acc[k] = (acc[k] + vstage[k] * zstage[k]) / vstage[k];
+    }
+    narrow_block(acc, ztile, len);
+    for (std::size_t k = 0; k < len; ++k) {
+      zv[rws[k]] = ztile[k];
+    }
+  }
+}
+
+/// Blocked relaxation update over a sorted row list, dispatching 16-bit
+/// value types to the staged path.
+template <typename T>
+void gs_update_rows_ell_blocked(const local_index_t n,
+                                const local_index_t slots,
+                                const local_index_t* __restrict ci,
+                                const T* __restrict av,
+                                const T* __restrict dv,
+                                const T* __restrict rv, T* __restrict zv,
+                                std::span<const local_index_t> rows) {
+  if constexpr (is_16bit_value_v<T>) {
+    gs_update_rows_ell_staged16(n, slots, ci, av, dv, rv, zv, rows);
+  } else {
+    gs_update_rows_ell_blocked_scalar(n, slots, ci, av, dv, rv, zv, rows);
   }
 }
 
@@ -183,7 +269,8 @@ void gs_sweep_rows(const CsrMatrix<T>& a, std::span<const local_index_t> rows,
   }
 }
 
-/// One forward multicolor GS sweep (ELL), blocked per color.
+/// One forward multicolor GS sweep (ELL), blocked per color. 16-bit value
+/// types take the staged (widen-once, FMA-at-unit-stride) path.
 template <typename T>
 void gs_sweep_colored_ell(const EllMatrix<T>& a, const RowPartition& colors,
                           std::span<const T> r, std::span<T> z) {
@@ -191,6 +278,19 @@ void gs_sweep_colored_ell(const EllMatrix<T>& a, const RowPartition& colors,
     detail::gs_update_rows_ell_blocked(a.num_rows, a.slots, a.col_idx.data(),
                                        a.values.data(), a.diag.data(),
                                        r.data(), z.data(), colors.group(c));
+  }
+}
+
+/// Scalar-path colored ELL sweep (promote-through-float per element) — the
+/// ablation baseline micro_kernels measures the staged 16-bit sweep against.
+template <typename T>
+void gs_sweep_colored_ell_scalar(const EllMatrix<T>& a,
+                                 const RowPartition& colors,
+                                 std::span<const T> r, std::span<T> z) {
+  for (int c = 0; c < colors.num_groups(); ++c) {
+    detail::gs_update_rows_ell_blocked_scalar(
+        a.num_rows, a.slots, a.col_idx.data(), a.values.data(), a.diag.data(),
+        r.data(), z.data(), colors.group(c));
   }
 }
 

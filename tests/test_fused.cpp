@@ -1,0 +1,362 @@
+// Fused-pass and staged-16-bit-kernel tests.
+//
+// The fused solver kernels (spmv_dot, waxpby_norm, residual_norm2) promise
+// more than numerical closeness: their reductions are ordered per-block
+// partial sums, so the fused pass must equal the unfused sequence (kernel,
+// then blocked dot in a second sweep) *bit for bit*, for every storage
+// format and both operator paths — and therefore GmresIr/CG must produce
+// bit-identical iterates whether SolverOptions::fused_passes is on or off.
+//
+// The staged 16-bit ELL SpMV / colored-GS paths are checked against the
+// scalar promote-through-float loops they replace (same arithmetic order,
+// so agreement up to FMA-contraction-level differences).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/cg.hpp"
+#include "core/dist_operator.hpp"
+#include "core/gmres_ir.hpp"
+#include "core/multigrid.hpp"
+#include "grid/problem.hpp"
+#include "precision/float16.hpp"
+#include "precision/scale_guard.hpp"
+#include "sparse/gauss_seidel.hpp"
+#include "sparse/kernels.hpp"
+
+namespace hpgmx {
+namespace {
+
+ProblemHierarchy make_hierarchy(local_index_t n, const BenchParams& params) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = n;
+  pp.gamma = params.gamma;
+  return build_hierarchy(generate_problem(ProcessGrid(1, 1, 1), 0, pp),
+                         params.mg_levels, params.coloring_seed);
+}
+
+/// Deterministic, well-scaled fill pattern representable in every format.
+template <typename T>
+void fill_pattern(std::span<T> v, float shift = 0.0f) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float f =
+        0.5f + 0.03125f * static_cast<float>(i % 37) - 0.25f + shift;
+    v[i] = static_cast<T>(f);
+  }
+}
+
+template <typename T>
+void expect_bitwise_equal(std::span<const T> a, std::span<const T> b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(T)));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level fused == unfused, all formats x both operator paths
+
+template <typename T>
+class FusedKernels : public ::testing::Test {};
+
+using AllFormats = ::testing::Types<double, float, bf16_t, fp16_t>;
+TYPED_TEST_SUITE(FusedKernels, AllFormats);
+
+TYPED_TEST(FusedKernels, SpmvDotBitIdenticalToUnfused) {
+  using T = TypeParam;
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  SelfComm comm;
+  for (const OptLevel opt : {OptLevel::Reference, OptLevel::Optimized}) {
+    DistOperator<T> op(h.levels[0].a, h.structures[0].get(), opt, /*tag=*/10);
+    AlignedVector<T> x1(static_cast<std::size_t>(op.vec_len()), T(0));
+    fill_pattern(std::span<T>(x1.data(), x1.size()));
+    AlignedVector<T> x2 = x1;
+    AlignedVector<T> y1(static_cast<std::size_t>(op.num_owned()), T(0));
+    AlignedVector<T> y2 = y1;
+    const double fused =
+        op.spmv_dot(comm, std::span<T>(x1.data(), x1.size()),
+                    std::span<T>(y1.data(), y1.size()));
+    const double unfused =
+        op.spmv_then_dot(comm, std::span<T>(x2.data(), x2.size()),
+                         std::span<T>(y2.data(), y2.size()));
+    EXPECT_EQ(fused, unfused) << "opt=" << opt_level_name(opt);
+    expect_bitwise_equal(std::span<const T>(y1.data(), y1.size()),
+                         std::span<const T>(y2.data(), y2.size()));
+    EXPECT_TRUE(std::isfinite(fused));
+    EXPECT_NE(fused, 0.0);
+  }
+}
+
+TYPED_TEST(FusedKernels, ResidualNormBitIdenticalToUnfused) {
+  using T = TypeParam;
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  SelfComm comm;
+  for (const OptLevel opt : {OptLevel::Reference, OptLevel::Optimized}) {
+    DistOperator<T> op(h.levels[0].a, h.structures[0].get(), opt, /*tag=*/20);
+    AlignedVector<T> x1(static_cast<std::size_t>(op.vec_len()), T(0));
+    fill_pattern(std::span<T>(x1.data(), x1.size()));
+    AlignedVector<T> x2 = x1;
+    AlignedVector<T> b(static_cast<std::size_t>(op.num_owned()), T(0));
+    fill_pattern(std::span<T>(b.data(), b.size()), 0.125f);
+    AlignedVector<T> r1(static_cast<std::size_t>(op.num_owned()), T(0));
+    AlignedVector<T> r2 = r1;
+    const double fused = op.residual_norm2(
+        comm, std::span<const T>(b.data(), b.size()),
+        std::span<T>(x1.data(), x1.size()), std::span<T>(r1.data(), r1.size()));
+    const double unfused = op.residual_then_norm2(
+        comm, std::span<const T>(b.data(), b.size()),
+        std::span<T>(x2.data(), x2.size()), std::span<T>(r2.data(), r2.size()));
+    EXPECT_EQ(fused, unfused) << "opt=" << opt_level_name(opt);
+    expect_bitwise_equal(std::span<const T>(r1.data(), r1.size()),
+                         std::span<const T>(r2.data(), r2.size()));
+    EXPECT_GE(fused, 0.0);
+  }
+}
+
+TYPED_TEST(FusedKernels, WaxpbyNormBitIdenticalToUnfused) {
+  using T = TypeParam;
+  const std::size_t n = 5000;  // several partial blocks plus a ragged tail
+  AlignedVector<T> x(n, T(0)), y(n, T(0)), w1(n, T(0)), w2(n, T(0));
+  fill_pattern(std::span<T>(x.data(), n));
+  fill_pattern(std::span<T>(y.data(), n), 0.0625f);
+  const double fused =
+      waxpby_norm(1.75, std::span<const T>(x.data(), n), -0.5,
+                  std::span<const T>(y.data(), n), std::span<T>(w1.data(), n));
+  waxpby(1.75, std::span<const T>(x.data(), n), -0.5,
+         std::span<const T>(y.data(), n), std::span<T>(w2.data(), n));
+  const double unfused = dot_span_blocked(std::span<const T>(w2.data(), n),
+                                          std::span<const T>(w2.data(), n));
+  EXPECT_EQ(fused, unfused);
+  expect_bitwise_equal(std::span<const T>(w1.data(), n),
+                       std::span<const T>(w2.data(), n));
+}
+
+TYPED_TEST(FusedKernels, WaxpbyNormAllowsInPlaceUpdate) {
+  using T = TypeParam;
+  const std::size_t n = 3000;
+  AlignedVector<T> r1(n, T(0)), ap(n, T(0));
+  fill_pattern(std::span<T>(r1.data(), n));
+  fill_pattern(std::span<T>(ap.data(), n), 0.25f);
+  AlignedVector<T> r2 = r1;
+  // In-place r ← r − alpha·Ap (w aliases x), CG's fused residual update.
+  const double fused = waxpby_norm(1.0, std::span<const T>(r1.data(), n),
+                                   -0.25, std::span<const T>(ap.data(), n),
+                                   std::span<T>(r1.data(), n));
+  waxpby(1.0, std::span<const T>(r2.data(), n), -0.25,
+         std::span<const T>(ap.data(), n), std::span<T>(r2.data(), n));
+  const double unfused = dot_span_blocked(std::span<const T>(r2.data(), n),
+                                          std::span<const T>(r2.data(), n));
+  EXPECT_EQ(fused, unfused);
+  expect_bitwise_equal(std::span<const T>(r1.data(), n),
+                       std::span<const T>(r2.data(), n));
+}
+
+// ---------------------------------------------------------------------------
+// Staged 16-bit kernels vs the scalar promote-through-float loops
+
+template <typename T>
+class Staged16 : public ::testing::Test {};
+
+using SixteenBit = ::testing::Types<bf16_t, fp16_t>;
+TYPED_TEST_SUITE(Staged16, SixteenBit);
+
+TYPED_TEST(Staged16, EllSpmvMatchesScalarPath) {
+  using T = TypeParam;
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  const CsrMatrix<T> a = h.levels[0].a.convert<T>();
+  const EllMatrix<T> e = ell_from_csr(a);
+  AlignedVector<T> x(static_cast<std::size_t>(e.num_cols), T(0));
+  fill_pattern(std::span<T>(x.data(), x.size()));
+  AlignedVector<T> y_staged(static_cast<std::size_t>(e.num_rows), T(0));
+  AlignedVector<T> y_scalar(static_cast<std::size_t>(e.num_rows), T(0));
+  ell_spmv(e, std::span<const T>(x.data(), x.size()),
+           std::span<T>(y_staged.data(), y_staged.size()));
+  ell_spmv_scalar(e, std::span<const T>(x.data(), x.size()),
+                  std::span<T>(y_scalar.data(), y_scalar.size()));
+  // Same accumulation order in fp32; only FMA-contraction details may
+  // differ before the final 16-bit rounding, so allow one output ulp.
+  const float ulp = static_cast<float>(PrecisionTraits<T>::unit_roundoff) * 2;
+  for (std::size_t i = 0; i < y_staged.size(); ++i) {
+    const float s = static_cast<float>(y_staged[i]);
+    const float c = static_cast<float>(y_scalar[i]);
+    ASSERT_NEAR(s, c, std::max(std::abs(c), 1.0f) * 2 * ulp) << "row " << i;
+  }
+}
+
+TYPED_TEST(Staged16, ColoredGsMatchesScalarPath) {
+  using T = TypeParam;
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  const CsrMatrix<T> a = h.levels[0].a.convert<T>();
+  const EllMatrix<T> e = ell_from_csr(a);
+  const OperatorStructure& st = *h.structures[0];
+  AlignedVector<T> r(static_cast<std::size_t>(e.num_rows), T(0));
+  fill_pattern(std::span<T>(r.data(), r.size()));
+  AlignedVector<T> z_staged(static_cast<std::size_t>(e.num_cols), T(0));
+  AlignedVector<T> z_scalar(static_cast<std::size_t>(e.num_cols), T(0));
+  gs_sweep_colored_ell(e, st.colors, std::span<const T>(r.data(), r.size()),
+                       std::span<T>(z_staged.data(), z_staged.size()));
+  gs_sweep_colored_ell_scalar(e, st.colors,
+                              std::span<const T>(r.data(), r.size()),
+                              std::span<T>(z_scalar.data(), z_scalar.size()));
+  const float ulp = static_cast<float>(PrecisionTraits<T>::unit_roundoff) * 2;
+  for (std::size_t i = 0; i < z_staged.size(); ++i) {
+    const float s = static_cast<float>(z_staged[i]);
+    const float c = static_cast<float>(z_scalar[i]);
+    // GS feeds rounded updates forward color by color, so contraction
+    // differences can compound a little across colors.
+    ASSERT_NEAR(s, c, std::max(std::abs(c), 1.0f) * 8 * ulp) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver-level: fused on/off must not change one bit of the iteration
+
+template <typename TLow>
+SolveResult solve_ir_toggle(const ProblemHierarchy& h, bool fused,
+                            std::span<double> x) {
+  BenchParams params;
+  SelfComm comm;
+  SolverOptions opts;
+  opts.max_iters = 500;
+  opts.tol = 1e-9;
+  opts.track_history = true;
+  opts.fused_passes = fused;
+  ScaleGuard guard;
+  guard.initialize(hierarchy_max_abs_value(h),
+                   PrecisionTraits<TLow>::max_finite);
+  Multigrid<TLow> mg(h, params, /*tag_base=*/100, guard.scale());
+  DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(), params.opt,
+                           /*tag=*/90);
+  GmresIr<TLow> solver(&a_d, &mg.level_op(0), &mg, opts);
+  solver.set_scale_guard(&guard);
+  return solver.solve(
+      comm,
+      std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()), x);
+}
+
+template <typename TLow>
+void expect_gmres_ir_toggle_bit_identical() {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  AlignedVector<double> x_fused(h.levels[0].b.size(), 0.0);
+  AlignedVector<double> x_unfused(h.levels[0].b.size(), 0.0);
+  const SolveResult a = solve_ir_toggle<TLow>(
+      h, /*fused=*/true, std::span<double>(x_fused.data(), x_fused.size()));
+  const SolveResult b = solve_ir_toggle<TLow>(
+      h, /*fused=*/false,
+      std::span<double>(x_unfused.data(), x_unfused.size()));
+  EXPECT_TRUE(a.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.relative_residual, b.relative_residual);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i], b.history[i]) << "outer step " << i;
+  }
+  expect_bitwise_equal(
+      std::span<const double>(x_fused.data(), x_fused.size()),
+      std::span<const double>(x_unfused.data(), x_unfused.size()));
+}
+
+TEST(FusedToggle, GmresIrBitIdenticalFp32) {
+  expect_gmres_ir_toggle_bit_identical<float>();
+}
+
+TEST(FusedToggle, GmresIrBitIdenticalBf16) {
+  expect_gmres_ir_toggle_bit_identical<bf16_t>();
+}
+
+TEST(FusedToggle, GmresIrBitIdenticalFp16) {
+  expect_gmres_ir_toggle_bit_identical<fp16_t>();
+}
+
+TEST(FusedToggle, CgBitIdenticalDouble) {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  SelfComm comm;
+  AlignedVector<double> x1(h.levels[0].b.size(), 0.0);
+  AlignedVector<double> x2(h.levels[0].b.size(), 0.0);
+  SolveResult res[2];
+  for (int i = 0; i < 2; ++i) {
+    SolverOptions opts;
+    opts.max_iters = 200;
+    opts.tol = 1e-9;
+    opts.track_history = true;
+    opts.fused_passes = (i == 0);
+    SymmetricMultigrid<double> mg(h, params);
+    ConjugateGradient<double> cg(&mg.level_op(0), &mg, opts);
+    AlignedVector<double>& x = (i == 0) ? x1 : x2;
+    res[i] = cg.solve(
+        comm,
+        std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+        std::span<double>(x.data(), x.size()));
+  }
+  EXPECT_TRUE(res[0].converged);
+  EXPECT_EQ(res[0].iterations, res[1].iterations);
+  EXPECT_EQ(res[0].relative_residual, res[1].relative_residual);
+  ASSERT_EQ(res[0].history.size(), res[1].history.size());
+  for (std::size_t i = 0; i < res[0].history.size(); ++i) {
+    EXPECT_EQ(res[0].history[i], res[1].history[i]);
+  }
+  expect_bitwise_equal(std::span<const double>(x1.data(), x1.size()),
+                       std::span<const double>(x2.data(), x2.size()));
+}
+
+// Reference path (CSR + blocking halo) through the solver toggle too: the
+// spmv_dot fused kernel has a different implementation there.
+TEST(FusedToggle, CgBitIdenticalFloatReferencePath) {
+  BenchParams params;
+  params.opt = OptLevel::Reference;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  SelfComm comm;
+  AlignedVector<float> b(h.levels[0].b.size(), 0.0f);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>(h.levels[0].b[i]);
+  }
+  AlignedVector<float> x1(b.size(), 0.0f);
+  AlignedVector<float> x2(b.size(), 0.0f);
+  SolveResult res[2];
+  for (int i = 0; i < 2; ++i) {
+    SolverOptions opts;
+    opts.max_iters = 200;
+    opts.tol = 1e-7;
+    opts.fused_passes = (i == 0);
+    SymmetricMultigrid<float> mg(h, params);
+    ConjugateGradient<float> cg(&mg.level_op(0), &mg, opts);
+    AlignedVector<float>& x = (i == 0) ? x1 : x2;
+    res[i] = cg.solve(comm, std::span<const float>(b.data(), b.size()),
+                      std::span<float>(x.data(), x.size()));
+  }
+  EXPECT_TRUE(res[0].converged);
+  EXPECT_EQ(res[0].iterations, res[1].iterations);
+  EXPECT_EQ(res[0].relative_residual, res[1].relative_residual);
+  expect_bitwise_equal(std::span<const float>(x1.data(), x1.size()),
+                       std::span<const float>(x2.data(), x2.size()));
+}
+
+// ---------------------------------------------------------------------------
+// The blocked reductions themselves are thread-count independent
+
+TEST(BlockedReduction, MatchesSerialBlockedSum) {
+  const std::size_t n = 10000;
+  AlignedVector<float> x(n, 0.0f), y(n, 0.0f);
+  fill_pattern(std::span<float>(x.data(), n));
+  fill_pattern(std::span<float>(y.data(), n), 0.5f);
+  // Serial re-computation of the same ordered per-block partials.
+  double expected = 0.0;
+  for (std::size_t b0 = 0; b0 < n; b0 += detail::kReduceBlock) {
+    double p = 0.0;
+    const std::size_t b1 = std::min(n, b0 + detail::kReduceBlock);
+    for (std::size_t i = b0; i < b1; ++i) {
+      p = std::fma(static_cast<double>(x[i]), static_cast<double>(y[i]), p);
+    }
+    expected += p;
+  }
+  EXPECT_EQ(expected, dot_span_blocked(std::span<const float>(x.data(), n),
+                                       std::span<const float>(y.data(), n)));
+}
+
+}  // namespace
+}  // namespace hpgmx

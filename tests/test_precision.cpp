@@ -5,11 +5,14 @@
 // target; fp16 needs the guard on a badly scaled system).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "comm/thread_comm.hpp"
 #include "core/dist_operator.hpp"
+#include "precision/convert_batch.hpp"
 #include "core/gmres_ir.hpp"
 #include "core/multigrid.hpp"
 #include "grid/problem.hpp"
@@ -130,6 +133,126 @@ TEST(Float16, ArithmeticPromotesThroughFloat) {
   EXPECT_NEAR(static_cast<float>(acc), 0.5f, 0.5f * 0x1p-7f);
   const fp16_t c(2.0f);
   EXPECT_EQ(c * c, 4.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Batched (SIMD-block) conversions vs the scalar routines
+//
+// The widen direction is exhaustively equal over all 65536 bit patterns;
+// the narrow direction is checked over every widened 16-bit value, its
+// float neighbors, and a pseudo-random sweep of raw float bit patterns —
+// covering normals, subnormals, RNE ties, overflow, inf and NaN.
+
+template <typename T>
+void expect_widen_block_exhaustive() {
+  std::vector<T> src(1u << 16);
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    src[b] = T::from_bits(static_cast<std::uint16_t>(b));
+  }
+  std::vector<float> dst(src.size(), 0.0f);
+  widen_block(src.data(), dst.data(), src.size());
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const float scalar = static_cast<float>(src[b]);
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(dst[b]),
+              std::bit_cast<std::uint32_t>(scalar))
+        << "pattern " << b;
+  }
+}
+
+TEST(ConvertBatch, WidenBf16MatchesScalarForAllBitPatterns) {
+  expect_widen_block_exhaustive<bf16_t>();
+}
+
+TEST(ConvertBatch, WidenFp16MatchesScalarForAllBitPatterns) {
+  expect_widen_block_exhaustive<fp16_t>();
+}
+
+template <typename T>
+void expect_narrow_block_matches_scalar() {
+  std::vector<float> src;
+  src.reserve((1u << 16) * 3 + (1u << 18));
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const float f = static_cast<float>(T::from_bits(static_cast<std::uint16_t>(b)));
+    src.push_back(f);
+    // Neighbors exercise RNE ties and range-boundary selects.
+    src.push_back(std::nextafter(f, kInf));
+    src.push_back(std::nextafter(f, -kInf));
+  }
+  std::uint32_t lcg = 0x12345678u;
+  for (int i = 0; i < (1 << 18); ++i) {
+    lcg = lcg * 1664525u + 1013904223u;
+    src.push_back(std::bit_cast<float>(lcg));
+  }
+  std::vector<T> dst(src.size());
+  // Convert in kConvertBlock-sized chunks (the primitive's contract).
+  for (std::size_t i0 = 0; i0 < src.size(); i0 += detail::kConvertBlock) {
+    const std::size_t len = std::min(detail::kConvertBlock, src.size() - i0);
+    narrow_block(src.data() + i0, dst.data() + i0, len);
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const T scalar(src[i]);
+    ASSERT_EQ(dst[i].bits, scalar.bits)
+        << "input bits " << std::bit_cast<std::uint32_t>(src[i]);
+  }
+}
+
+TEST(ConvertBatch, NarrowBf16MatchesScalarIncludingTiesAndSpecials) {
+  expect_narrow_block_matches_scalar<bf16_t>();
+}
+
+TEST(ConvertBatch, NarrowFp16MatchesScalarIncludingTiesAndSpecials) {
+  expect_narrow_block_matches_scalar<fp16_t>();
+}
+
+TEST(ConvertBatch, ConvertSpanMatchesPerElementStaticCast) {
+  const std::size_t n = 4097;  // several blocks + ragged tail
+  std::vector<double> src(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = (static_cast<double>(i) - 2000.0) * 0.37 + 1e-7;
+  }
+  // double -> bf16 -> float -> fp16 -> double, each leg against the scalar
+  // conversion chain it must reproduce bit for bit.
+  std::vector<bf16_t> as_bf(n);
+  convert_span(std::span<const double>(src.data(), n),
+               std::span<bf16_t>(as_bf.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(as_bf[i].bits, static_cast<bf16_t>(src[i]).bits);
+  }
+  std::vector<float> as_f(n);
+  convert_span(std::span<const bf16_t>(as_bf.data(), n),
+               std::span<float>(as_f.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(as_f[i], static_cast<float>(as_bf[i]));
+  }
+  std::vector<fp16_t> as_h(n);
+  convert_span(std::span<const float>(as_f.data(), n),
+               std::span<fp16_t>(as_h.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(as_h[i].bits, fp16_t(as_f[i]).bits);
+  }
+  std::vector<double> back(n);
+  convert_span(std::span<const fp16_t>(as_h.data(), n),
+               std::span<double>(back.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(back[i], static_cast<double>(static_cast<float>(as_h[i])));
+  }
+}
+
+TEST(ConvertBatch, EllConvertRoutesThroughBatchedPrimitives) {
+  // EllMatrix<double>::convert<bf16_t>() must equal the per-element
+  // static_cast it replaced, entry for entry (values and diagonal).
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 8;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const EllMatrix<double> e = ell_from_csr(prob.a);
+  const EllMatrix<bf16_t> c = e.convert<bf16_t>();
+  ASSERT_EQ(c.values.size(), e.values.size());
+  for (std::size_t i = 0; i < e.values.size(); ++i) {
+    ASSERT_EQ(c.values[i].bits, static_cast<bf16_t>(e.values[i]).bits);
+  }
+  for (std::size_t i = 0; i < e.diag.size(); ++i) {
+    ASSERT_EQ(c.diag[i].bits, static_cast<bf16_t>(e.diag[i]).bits);
+  }
 }
 
 // ---------------------------------------------------------------------------

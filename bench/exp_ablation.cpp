@@ -9,15 +9,23 @@
 // restrict + blocking}. Kernel-level ablations (format, smoother, fusion in
 // isolation) live in micro_kernels; this harness shows the end-to-end gap
 // and the per-motif attribution.
+//
+//   $ ./exp_ablation [--json]
+//
+// --json emits one machine-readable report object on stdout (the BENCH_*
+// perf-trajectory format shared by every exhibit).
 #include "exhibit_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
                                               /*seconds=*/0.8);
-  banner("EXP ablation (paper §3.2 / DESIGN.md design choices)",
-         "optimized vs reference path, end-to-end and per motif");
+  if (!json) {
+    banner("EXP ablation (paper §3.2 / DESIGN.md design choices)",
+           "optimized vs reference path, end-to-end and per motif");
+  }
 
   PhaseResult phases[2];
   int idx = 0;
@@ -29,6 +37,36 @@ int main() {
   }
   const PhaseResult& opt_phase = phases[0];
   const PhaseResult& ref_phase = phases[1];
+  const Motif motifs[] = {Motif::GS, Motif::SpMV, Motif::Restrict,
+                          Motif::Ortho};
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"ablation\",\n");
+    std::printf("  \"ranks\": %d,\n", cfg.ranks);
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"total\": {\"optimized_gflops\": %.6g, "
+                "\"reference_gflops\": %.6g, \"gain\": %.6g},\n",
+                opt_phase.raw_gflops, ref_phase.raw_gflops,
+                ref_phase.raw_gflops > 0
+                    ? opt_phase.raw_gflops / ref_phase.raw_gflops
+                    : 0.0);
+    std::printf("  \"motifs\": [\n");
+    for (std::size_t i = 0; i < sizeof(motifs) / sizeof(motifs[0]); ++i) {
+      const Motif m = motifs[i];
+      const double o = opt_phase.stats.gflops(m);
+      const double r = ref_phase.stats.gflops(m);
+      std::printf("    {\"motif\": \"%s\", \"optimized_gflops\": %.6g, "
+                  "\"reference_gflops\": %.6g, \"gain\": %.6g}%s\n",
+                  std::string(motif_name(m)).c_str(), o, r,
+                  r > 0 ? o / r : 0.0,
+                  i + 1 < sizeof(motifs) / sizeof(motifs[0]) ? "," : "");
+    }
+    std::printf("  ]\n");
+    std::printf("}\n");
+    return 0;
+  }
 
   std::printf("%-10s %16s %16s %10s\n", "motif", "optimized GF/s",
               "reference GF/s", "gain");
@@ -37,8 +75,7 @@ int main() {
               ref_phase.raw_gflops > 0
                   ? opt_phase.raw_gflops / ref_phase.raw_gflops
                   : 0.0);
-  for (const Motif m :
-       {Motif::GS, Motif::SpMV, Motif::Restrict, Motif::Ortho}) {
+  for (const Motif m : motifs) {
     const double o = opt_phase.stats.gflops(m);
     const double r = ref_phase.stats.gflops(m);
     std::printf("%-10s %16.2f %16.2f %9.2fx\n",

@@ -5,17 +5,25 @@
 // Reproduction: run our HPCG-style CG (symmetric-GS multigrid) and the
 // HPG-MxP GMRES-IR benchmark on the same problem and report both model
 // GFLOP/s figures and their ratio.
+//
+//   $ ./exp_hpcg_compare [--json]
+//
+// --json emits one machine-readable report object on stdout (the BENCH_*
+// perf-trajectory format shared by every exhibit).
 #include "core/cg.hpp"
 #include "exhibit_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
                                               /*seconds=*/0.8);
-  banner("EXP hpcg-compare (paper §4.1)",
-         "full-system HPG-MxP mxp 17.23 PF vs HPCG 10.4 PF (ratio 1.66, "
-         "not directly comparable)");
+  if (!json) {
+    banner("EXP hpcg-compare (paper §4.1)",
+           "full-system HPG-MxP mxp 17.23 PF vs HPCG 10.4 PF (ratio 1.66, "
+           "not directly comparable)");
+  }
 
   // HPG-MxP mxp phase.
   BenchmarkDriver driver(cfg.params, cfg.ranks);
@@ -50,14 +58,31 @@ int main() {
   }
   const double cg_gflops =
       static_cast<double>(cg_stats.total_flops()) / timer.seconds() * 1e-9;
+  const double ratio = cg_gflops > 0 ? mxp.raw_gflops / cg_gflops : 0.0;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"hpcg_compare\",\n");
+    std::printf("  \"ranks\": %d,\n", cfg.ranks);
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"mxp_gflops\": %.6g,\n", mxp.raw_gflops);
+    std::printf("  \"mxp_iterations\": %d,\n", mxp.iterations);
+    std::printf("  \"hpcg_gflops\": %.6g,\n", cg_gflops);
+    std::printf("  \"hpcg_iterations\": %d,\n", cg_iters);
+    std::printf("  \"ratio\": %.6g,\n", ratio);
+    std::printf("  \"paper\": {\"mxp_pf\": 17.23, \"hpcg_pf\": 10.4, "
+                "\"ratio\": 1.66}\n");
+    std::printf("}\n");
+    return 0;
+  }
 
   std::printf("%-28s %12s %12s\n", "", "GFLOP/s", "iters run");
   std::printf("%-28s %12.2f %12d\n", "HPG-MxP mxp (GMRES-IR)",
               mxp.raw_gflops, mxp.iterations);
   std::printf("%-28s %12.2f %12d\n", "HPCG-style (CG, sym-GS MG)", cg_gflops,
               cg_iters);
-  std::printf("%-28s %11.2fx\n", "ratio",
-              cg_gflops > 0 ? mxp.raw_gflops / cg_gflops : 0.0);
+  std::printf("%-28s %11.2fx\n", "ratio", ratio);
   std::printf("\npaper: 17.23 PF vs 10.4 PF => 1.66x. Expect a ratio > 1\n"
               "here too: the GMRES-IR benchmark gets its fp32 bandwidth\n"
               "advantage while CG runs all-double with symmetric (2x) GS\n"

@@ -11,21 +11,39 @@
 // Reproduction: virtual-rank counts 1..8 with a scaled-down iteration cap
 // (HPGMX_T2_CAP) chosen so small worlds converge and large worlds hit the
 // cap — the same two regimes as the paper's 8-node/64-node boundary.
+//
+//   $ ./exp_table2 [--json]
+//
+// --json emits one machine-readable report object on stdout (the BENCH_*
+// perf-trajectory format shared by every exhibit).
+#include <vector>
+
 #include "exhibit_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/16, /*ranks=*/8);
-  banner("EXP table2 validation methodologies (paper Table 2 / §3.3)",
-         "std ratio constant ~0.968; fullscale hits the cap at scale and "
-         "its target relaxes above 1e-9");
+  if (!json) {
+    banner("EXP table2 validation methodologies (paper Table 2 / §3.3)",
+           "std ratio constant ~0.968; fullscale hits the cap at scale and "
+           "its target relaxes above 1e-9");
+  }
 
   const int cap = static_cast<int>(env_int_or("HPGMX_T2_CAP", 25));
-  std::printf("iteration cap (scaled from the paper's 10000): %d\n\n", cap);
-  std::printf("%8s %10s %12s %22s %12s\n", "ranks", "std", "fullscale",
-              "fullscale relres", "d hit cap?");
+  if (!json) {
+    std::printf("iteration cap (scaled from the paper's 10000): %d\n\n", cap);
+    std::printf("%8s %10s %12s %22s %12s\n", "ranks", "std", "fullscale",
+                "fullscale relres", "d hit cap?");
+  }
 
+  struct Row {
+    int ranks;
+    ValidationResult std_v;
+    ValidationResult fs_v;
+  };
+  std::vector<Row> rows;
   for (const int ranks : {1, 2, 4, 8}) {
     if (ranks > cfg.ranks) {
       break;
@@ -34,13 +52,38 @@ int main() {
     p.validation_max_iters = cap;
     p.validation_ranks = 1;  // standard: small fixed subset, as in §3
     BenchmarkDriver driver(p, ranks);
-    const ValidationResult std_v =
-        driver.run_validation(ValidationMode::Standard);
-    const ValidationResult fs_v =
-        driver.run_validation(ValidationMode::FullScale);
-    std::printf("%8d %10.3f %12.3f %22.3e %12s\n", ranks, std_v.ratio(),
-                fs_v.ratio(), fs_v.achieved_tol,
-                fs_v.d_converged ? "no" : "yes");
+    Row row;
+    row.ranks = ranks;
+    row.std_v = driver.run_validation(ValidationMode::Standard);
+    row.fs_v = driver.run_validation(ValidationMode::FullScale);
+    if (!json) {
+      std::printf("%8d %10.3f %12.3f %22.3e %12s\n", ranks, row.std_v.ratio(),
+                  row.fs_v.ratio(), row.fs_v.achieved_tol,
+                  row.fs_v.d_converged ? "no" : "yes");
+    }
+    rows.push_back(row);
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"table2_validation\",\n");
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"iteration_cap\": %d,\n", cap);
+    std::printf("  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("    {\"ranks\": %d, \"std_ratio\": %.6g, "
+                  "\"fullscale_ratio\": %.6g, \"fullscale_relres\": %.6g, "
+                  "\"d_hit_cap\": %s, \"std_n_d\": %d, \"std_n_ir\": %d}%s\n",
+                  r.ranks, r.std_v.ratio(), r.fs_v.ratio(),
+                  r.fs_v.achieved_tol, r.fs_v.d_converged ? "false" : "true",
+                  r.std_v.n_d, r.std_v.n_ir,
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n");
+    std::printf("}\n");
+    return 0;
   }
   std::printf(
       "\ncheck against Table 2: (1) the std column is constant across rows\n"

@@ -4,18 +4,47 @@
 //
 // We run the same standard validation (scaled down; grid/ranks via
 // HPGMX_NX / HPGMX_RANKS) and report n_d, n_ir and the penalty.
+//
+//   $ ./exp_validation [--json]
+//
+// --json emits one machine-readable report object on stdout (the BENCH_*
+// perf-trajectory format shared by every exhibit).
 #include "exhibit_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpgmx;
   using namespace hpgmx::bench;
+  const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/16, /*ranks=*/8);
-  banner("EXP validation-1node (paper §4, validation paragraph)",
-         "320^3/GCD on 8 GCDs: n_d=2305, n_ir=2382, ratio 0.968");
+  if (!json) {
+    banner("EXP validation-1node (paper §4, validation paragraph)",
+           "320^3/GCD on 8 GCDs: n_d=2305, n_ir=2382, ratio 0.968");
+  }
 
   cfg.params.validation_ranks = cfg.ranks;
   BenchmarkDriver driver(cfg.params, cfg.ranks);
   const ValidationResult v = driver.run_validation(ValidationMode::Standard);
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"validation_1node\",\n");
+    std::printf("  \"ranks\": %d,\n", v.ranks);
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"tol\": %.6g,\n", cfg.params.validation_tol);
+    std::printf("  \"n_d\": %d,\n", v.n_d);
+    std::printf("  \"n_ir\": %d,\n", v.n_ir);
+    std::printf("  \"ratio\": %.6g,\n", v.ratio());
+    std::printf("  \"penalty\": %.6g,\n", v.penalty());
+    std::printf("  \"d_converged\": %s,\n", v.d_converged ? "true" : "false");
+    std::printf("  \"ir_converged\": %s,\n",
+                v.ir_converged ? "true" : "false");
+    std::printf("  \"paper\": {\"n_d\": 2305, \"n_ir\": 2382, "
+                "\"ratio\": %.6g}\n",
+                2305.0 / 2382.0);
+    std::printf("}\n");
+    return (v.d_converged && v.ir_converged) ? 0 : 1;
+  }
 
   std::printf("ranks=%d local=%dx%dx%d tol=%.0e\n", v.ranks, cfg.params.nx,
               cfg.params.ny, cfg.params.nz, cfg.params.validation_tol);

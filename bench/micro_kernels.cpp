@@ -4,7 +4,9 @@
 //
 //   CSR vs ELL SpMV                                    (§3.2.2)
 //   scalar vs staged (blocked fp32-widening) 16-bit ELL SpMV and colored GS
-//   fused vs unfused solver passes: spmv_dot, waxpby_norm, residual_norm
+//   idx32 (absolute columns) vs idx16 (compressed 16-bit delta) ELL layouts
+//   fused vs unfused solver passes: spmv_dot, waxpby_norm, residual_norm,
+//     and the CGS2 gemv_n_sub + norm fusion
 //   batched vs scalar bf16/fp16 <-> fp32 span conversions
 //   dot/WAXPBY across storage precisions (memory-bound 2x/4x expectation)
 //
@@ -18,8 +20,11 @@
 //
 // --json emits one machine-readable object on stdout (the BENCH_kernels
 // perf-trajectory format; see bench/run_bench.sh). Exit code: nonzero when
-// the 16-bit gate fails — any 16-bit ELL SpMV variant whose modeled
-// bytes/row is not strictly below its fp32 counterpart.
+// either gate fails —
+//   (1) any 16-bit ELL SpMV variant whose modeled bytes/row is not
+//       strictly below the fp32 idx32 baseline, or
+//   (2) the compressed-index gate: bf16 ELL SpMV with 16-bit delta indices
+//       must model strictly fewer bytes/row than with 32-bit indices.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +33,7 @@
 
 #include "base/options.hpp"
 #include "base/timer.hpp"
+#include "blas/multivector.hpp"
 #include "blas/vector_ops.hpp"
 #include "coloring/coloring.hpp"
 #include "core/bytes_model.hpp"
@@ -46,6 +52,7 @@ struct Row {
   std::string kernel;   ///< e.g. "spmv_ell"
   std::string format;   ///< "fp64" / "fp32" / "bf16" / "fp16"
   std::string variant;  ///< "scalar" / "staged" / "fused" / "unfused" / ...
+  std::string index;    ///< "idx32" / "idx16" ("-": no index stream)
   double bytes = 0;          ///< modeled streaming bytes per call
   double bytes_per_row = 0;  ///< modeled bytes per matrix row (0: vector op)
   double seconds = 0;        ///< measured seconds per call
@@ -76,11 +83,12 @@ double time_kernel_adaptive(double target_seconds, F&& fn, int* reps_out) {
 template <typename F>
 Row make_row(const char* kernel, const char* format, const char* variant,
              double bytes, local_index_t rows_for_per_row, double target,
-             F&& fn) {
+             F&& fn, const char* index = "-") {
   Row r;
   r.kernel = kernel;
   r.format = format;
   r.variant = variant;
+  r.index = index;
   r.bytes = bytes;
   r.bytes_per_row =
       rows_for_per_row > 0 ? bytes / static_cast<double>(rows_for_per_row) : 0;
@@ -98,56 +106,88 @@ Problem make_problem(local_index_t n) {
 template <typename T>
 void add_spmv(std::vector<Row>& out, const Problem& prob, double target) {
   const CsrMatrix<T> a = prob.a.convert<T>();
-  const EllMatrix<T> e = ell_from_csr(a);
-  const local_index_t n = e.num_rows;
+  // Both ELL index layouts: absolute 32-bit columns (the ablation baseline)
+  // and compressed 16-bit deltas (the production Auto path when feasible).
+  const EllMatrix<T> e32 = ell_from_csr(a, IndexWidth::Idx32);
+  const EllMatrix<T> e16 = ell_from_csr(a, IndexWidth::Idx16);
+  const local_index_t n = e32.num_rows;
   const std::size_t vb = PrecisionTraits<T>::bytes;
   const char* fmt = PrecisionTraits<T>::name.data();
-  AlignedVector<T> x(static_cast<std::size_t>(e.num_cols), T(1));
+  AlignedVector<T> x(static_cast<std::size_t>(e32.num_cols), T(1));
   AlignedVector<T> y(static_cast<std::size_t>(n), T(0));
   const double csr_b = spmv_bytes(a.nnz(), n, vb);
-  const double ell_b = spmv_bytes(e.padded_nnz(), n, vb);
 
-  out.push_back(make_row("spmv_csr", fmt, "scalar", csr_b, n, target, [&] {
-    csr_spmv(a, std::span<const T>(x.data(), x.size()),
-             std::span<T>(y.data(), y.size()));
-  }));
-  out.push_back(make_row("spmv_ell", fmt, "scalar", ell_b, n, target, [&] {
-    ell_spmv_scalar(e, std::span<const T>(x.data(), x.size()),
-                    std::span<T>(y.data(), y.size()));
-  }));
-  if constexpr (detail::is_16bit_value_v<T>) {
-    // The production dispatch (ell_spmv) takes the staged path for 16-bit
-    // types; the scalar row above is the promote-through-float ablation.
-    out.push_back(make_row("spmv_ell", fmt, "staged", ell_b, n, target, [&] {
-      ell_spmv(e, std::span<const T>(x.data(), x.size()),
-               std::span<T>(y.data(), y.size()));
-    }));
+  out.push_back(make_row(
+      "spmv_csr", fmt, "scalar", csr_b, n, target,
+      [&] {
+        csr_spmv(a, std::span<const T>(x.data(), x.size()),
+                 std::span<T>(y.data(), y.size()));
+      },
+      "idx32"));
+  for (const EllMatrix<T>* e : {&e32, &e16}) {
+    if (e == &e16 && !e16.has_idx16()) {
+      continue;  // infeasible window: the Auto path is the idx32 row above
+    }
+    const char* idx = e->has_idx16() ? "idx16" : "idx32";
+    const double ell_b = spmv_bytes(e->padded_nnz(), n, vb, e->index_bytes());
+    out.push_back(make_row(
+        "spmv_ell", fmt, "scalar", ell_b, n, target,
+        [&] {
+          ell_spmv_scalar(*e, std::span<const T>(x.data(), x.size()),
+                          std::span<T>(y.data(), y.size()));
+        },
+        idx));
+    if constexpr (detail::is_16bit_value_v<T>) {
+      // The production dispatch (ell_spmv) takes the staged path for 16-bit
+      // types; the scalar row above is the promote-through-float ablation.
+      out.push_back(make_row(
+          "spmv_ell", fmt, "staged", ell_b, n, target,
+          [&] {
+            ell_spmv(*e, std::span<const T>(x.data(), x.size()),
+                     std::span<T>(y.data(), y.size()));
+          },
+          idx));
+    }
   }
 }
 
 template <typename T>
 void add_gs(std::vector<Row>& out, const Problem& prob, double target) {
   const CsrMatrix<T> a = prob.a.convert<T>();
-  const EllMatrix<T> e = ell_from_csr(a);
-  const local_index_t n = e.num_rows;
+  const EllMatrix<T> e32 = ell_from_csr(a, IndexWidth::Idx32);
+  const EllMatrix<T> e16 = ell_from_csr(a, IndexWidth::Idx16);
+  const local_index_t n = e32.num_rows;
   const char* fmt = PrecisionTraits<T>::name.data();
   const auto colors = jpl_color(a, 42);
   const RowPartition part = color_partition(colors);
   AlignedVector<T> r(static_cast<std::size_t>(n), T(1));
-  AlignedVector<T> z(static_cast<std::size_t>(e.num_cols), T(0));
-  const double b = gs_sweep_bytes(e.padded_nnz(), n, PrecisionTraits<T>::bytes);
-  out.push_back(
-      make_row("gs_multicolor_ell", fmt, "scalar", b, n, target, [&] {
-        gs_sweep_colored_ell_scalar(e, part,
-                                    std::span<const T>(r.data(), r.size()),
-                                    std::span<T>(z.data(), z.size()));
-      }));
-  if constexpr (detail::is_16bit_value_v<T>) {
-    out.push_back(
-        make_row("gs_multicolor_ell", fmt, "staged", b, n, target, [&] {
-          gs_sweep_colored_ell(e, part, std::span<const T>(r.data(), r.size()),
-                               std::span<T>(z.data(), z.size()));
-        }));
+  AlignedVector<T> z(static_cast<std::size_t>(e32.num_cols), T(0));
+  for (const EllMatrix<T>* e : {&e32, &e16}) {
+    if (e == &e16 && !e16.has_idx16()) {
+      continue;
+    }
+    const char* idx = e->has_idx16() ? "idx16" : "idx32";
+    const double b = gs_sweep_bytes(e->padded_nnz(), n,
+                                    PrecisionTraits<T>::bytes,
+                                    e->index_bytes());
+    out.push_back(make_row(
+        "gs_multicolor_ell", fmt, "scalar", b, n, target,
+        [&] {
+          gs_sweep_colored_ell_scalar(*e, part,
+                                      std::span<const T>(r.data(), r.size()),
+                                      std::span<T>(z.data(), z.size()));
+        },
+        idx));
+    if constexpr (detail::is_16bit_value_v<T>) {
+      out.push_back(make_row(
+          "gs_multicolor_ell", fmt, "staged", b, n, target,
+          [&] {
+            gs_sweep_colored_ell(*e, part,
+                                 std::span<const T>(r.data(), r.size()),
+                                 std::span<T>(z.data(), z.size()));
+          },
+          idx));
+    }
   }
 }
 
@@ -163,37 +203,44 @@ void add_fused(std::vector<Row>& out, const Problem& prob, double target) {
   AlignedVector<T> w(static_cast<std::size_t>(n), T(0));
   volatile double sink = 0;
 
-  out.push_back(make_row("spmv_dot", fmt, "fused",
-                         spmv_dot_bytes(a.nnz(), n, vb), n, target, [&] {
-                           sink = csr_spmv_dot(
-                               a, std::span<const T>(x.data(), x.size()),
-                               std::span<T>(y.data(), y.size()));
-                         }));
+  out.push_back(make_row(
+      "spmv_dot", fmt, "fused", spmv_dot_bytes(a.nnz(), n, vb), n, target,
+      [&] {
+        sink = csr_spmv_dot(a, std::span<const T>(x.data(), x.size()),
+                            std::span<T>(y.data(), y.size()));
+      },
+      "idx32"));
   out.push_back(make_row(
       "spmv_dot", fmt, "unfused",
-      spmv_bytes(a.nnz(), n, vb) + dot_bytes<T>(n), n, target, [&] {
+      spmv_bytes(a.nnz(), n, vb) + dot_bytes<T>(n), n, target,
+      [&] {
         csr_spmv(a, std::span<const T>(x.data(), x.size()),
                  std::span<T>(y.data(), y.size()));
         sink = dot_span_blocked(
             std::span<const T>(y.data(), y.size()),
             std::span<const T>(x.data(), static_cast<std::size_t>(n)));
-      }));
-  out.push_back(make_row("residual_norm", fmt, "fused",
-                         residual_norm_bytes(a.nnz(), n, vb), n, target, [&] {
-                           sink = csr_residual_norm2(
-                               a, std::span<const T>(b.data(), b.size()),
-                               std::span<const T>(x.data(), x.size()),
-                               std::span<T>(y.data(), y.size()));
-                         }));
+      },
+      "idx32"));
+  out.push_back(make_row(
+      "residual_norm", fmt, "fused", residual_norm_bytes(a.nnz(), n, vb), n,
+      target,
+      [&] {
+        sink = csr_residual_norm2(a, std::span<const T>(b.data(), b.size()),
+                                  std::span<const T>(x.data(), x.size()),
+                                  std::span<T>(y.data(), y.size()));
+      },
+      "idx32"));
   out.push_back(make_row(
       "residual_norm", fmt, "unfused",
-      residual_bytes(a.nnz(), n, vb) + dot_bytes<T>(n), n, target, [&] {
+      residual_bytes(a.nnz(), n, vb) + dot_bytes<T>(n), n, target,
+      [&] {
         csr_residual(a, std::span<const T>(b.data(), b.size()),
                      std::span<const T>(x.data(), x.size()),
                      std::span<T>(y.data(), y.size()));
         sink = dot_span_blocked(std::span<const T>(y.data(), y.size()),
                                 std::span<const T>(y.data(), y.size()));
-      }));
+      },
+      "idx32"));
   out.push_back(make_row(
       "waxpby_norm", fmt, "fused", waxpby_norm_bytes(n, vb), 0, target, [&] {
         sink = waxpby_norm(2.0,
@@ -208,6 +255,44 @@ void add_fused(std::vector<Row>& out, const Problem& prob, double target) {
         waxpby(2.0, std::span<const T>(b.data(), b.size()), 3.0,
                std::span<const T>(y.data(), y.size()),
                std::span<T>(w.data(), w.size()));
+        sink = dot_span_blocked(std::span<const T>(w.data(), w.size()),
+                                std::span<const T>(w.data(), w.size()));
+      }));
+  (void)sink;
+}
+
+/// The CGS2 normalization fusion: w ← w − Q h with ‖w‖² folded in
+/// (gemv_n_sub_norm) vs the unfused projection + separate blocked norm
+/// sweep. k basis vectors, DRAM-resident length.
+template <typename T>
+void add_cgs2(std::vector<Row>& out, std::size_t len, double target) {
+  const char* fmt = PrecisionTraits<T>::name.data();
+  const std::size_t vb = PrecisionTraits<T>::bytes;
+  const int k = 8;
+  MultiVector<T> q(static_cast<local_index_t>(len), k);
+  for (int j = 0; j < k; ++j) {
+    auto col = q.column(j);
+    for (std::size_t i = 0; i < len; ++i) {
+      col[i] = T(0.25f + 0.001f * static_cast<float>(j));
+    }
+  }
+  AlignedVector<T> h(static_cast<std::size_t>(k), T(0.01f));
+  AlignedVector<T> w(len, T(1));
+  volatile double sink = 0;
+  out.push_back(make_row(
+      "gemv_n_norm", fmt, "fused",
+      gemv_n_norm_bytes(static_cast<local_index_t>(len), k, vb), 0, target,
+      [&] {
+        sink = gemv_n_sub_norm(q, k, std::span<const T>(h.data(), h.size()),
+                               std::span<T>(w.data(), w.size()));
+      }));
+  out.push_back(make_row(
+      "gemv_n_norm", fmt, "unfused",
+      gemv_n_sub_bytes(static_cast<local_index_t>(len), k, vb) +
+          dot_bytes<T>(static_cast<local_index_t>(len)),
+      0, target, [&] {
+        gemv_n_sub(q, k, std::span<const T>(h.data(), h.size()),
+                   std::span<T>(w.data(), w.size()));
         sink = dot_span_blocked(std::span<const T>(w.data(), w.size()),
                                 std::span<const T>(w.data(), w.size()));
       }));
@@ -276,9 +361,11 @@ void add_blas1(std::vector<Row>& out, std::size_t len, double target) {
 
 [[nodiscard]] const Row* find_row(const std::vector<Row>& rows,
                                   const char* kernel, const char* format,
-                                  const char* variant) {
+                                  const char* variant,
+                                  const char* index = nullptr) {
   for (const Row& r : rows) {
-    if (r.kernel == kernel && r.format == format && r.variant == variant) {
+    if (r.kernel == kernel && r.format == format && r.variant == variant &&
+        (index == nullptr || r.index == index)) {
       return &r;
     }
   }
@@ -286,7 +373,9 @@ void add_blas1(std::vector<Row>& out, std::size_t len, double target) {
 }
 
 void print_json(const std::vector<Row>& rows, local_index_t nx, bool gate_pass,
-                double bf16_speedup, double fp16_speedup) {
+                bool idx16_gate_pass, bool idx16_feasible, double bf16_speedup,
+                double fp16_speedup, double idx16_bf16_speedup,
+                double idx16_fp16_speedup) {
   std::printf("{\n");
   std::printf("  \"exhibit\": \"micro_kernels\",\n");
   std::printf("  \"local_grid\": [%d, %d, %d],\n", nx, nx, nx);
@@ -294,20 +383,30 @@ void print_json(const std::vector<Row>& rows, local_index_t nx, bool gate_pass,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::printf("    {\"kernel\": \"%s\", \"format\": \"%s\", "
-                "\"variant\": \"%s\", \"gbs\": %.6g, \"bytes_per_row\": %.6g, "
+                "\"variant\": \"%s\", \"index\": \"%s\", \"gbs\": %.6g, "
+                "\"bytes_per_row\": %.6g, "
                 "\"modeled_bytes\": %.6g, \"seconds_per_call\": %.6g, "
                 "\"reps\": %d}%s\n",
-                r.kernel.c_str(), r.format.c_str(), r.variant.c_str(), r.gbs(),
-                r.bytes_per_row, r.bytes, r.seconds, r.reps,
-                i + 1 < rows.size() ? "," : "");
+                r.kernel.c_str(), r.format.c_str(), r.variant.c_str(),
+                r.index.c_str(), r.gbs(), r.bytes_per_row, r.bytes, r.seconds,
+                r.reps, i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"staged_16bit_spmv_speedup\": "
               "{\"bf16\": %.6g, \"fp16\": %.6g},\n",
               bf16_speedup, fp16_speedup);
+  std::printf("  \"idx16_spmv_speedup\": "
+              "{\"bf16\": %.6g, \"fp16\": %.6g},\n",
+              idx16_bf16_speedup, idx16_fp16_speedup);
   std::printf("  \"gate\": {\"rule\": \"16-bit ELL SpMV modeled bytes/row "
-              "strictly below fp32\", \"pass\": %s}\n",
+              "strictly below fp32 idx32\", \"pass\": %s},\n",
               gate_pass ? "true" : "false");
+  std::printf("  \"idx16_gate\": {\"rule\": \"bf16 ELL SpMV idx16 modeled "
+              "bytes/row strictly below bf16 idx32 (skipped when the column "
+              "window makes idx16 infeasible)\", \"feasible\": %s, "
+              "\"pass\": %s}\n",
+              idx16_feasible ? "true" : "false",
+              idx16_gate_pass ? "true" : "false");
   std::printf("}\n");
 }
 
@@ -340,6 +439,8 @@ int main(int argc, char** argv) {
   add_gs<bf16_t>(rows, prob, target);
   add_fused<float>(rows, prob, target);
   add_fused<bf16_t>(rows, prob, target);
+  add_cgs2<float>(rows, veclen, target);
+  add_cgs2<bf16_t>(rows, veclen, target);
   add_convert<bf16_t>(rows, veclen, target);
   add_convert<fp16_t>(rows, veclen, target);
   add_blas1<double>(rows, veclen, target);
@@ -347,22 +448,34 @@ int main(int argc, char** argv) {
   add_blas1<bf16_t>(rows, veclen, target);
 
   // Staged-vs-scalar 16-bit SpMV speedup (same kernel, same modeled bytes,
-  // so the GB/s ratio is a pure time ratio).
+  // so the GB/s ratio is a pure time ratio), measured on the idx32 layout
+  // (present for every grid size).
   auto speedup = [&](const char* fmt) {
-    const Row* staged = find_row(rows, "spmv_ell", fmt, "staged");
-    const Row* scalar = find_row(rows, "spmv_ell", fmt, "scalar");
+    const Row* staged = find_row(rows, "spmv_ell", fmt, "staged", "idx32");
+    const Row* scalar = find_row(rows, "spmv_ell", fmt, "scalar", "idx32");
     return (staged != nullptr && scalar != nullptr && staged->seconds > 0)
                ? scalar->seconds / staged->seconds
                : 0.0;
   };
   const double bf16_speedup = speedup("bf16");
   const double fp16_speedup = speedup("fp16");
+  // Compressed-index speedup: same staged kernel, idx32 vs idx16 layout —
+  // a pure measured-time ratio isolating the halved index stream.
+  auto idx16_speedup = [&](const char* fmt) {
+    const Row* i16 = find_row(rows, "spmv_ell", fmt, "staged", "idx16");
+    const Row* i32 = find_row(rows, "spmv_ell", fmt, "staged", "idx32");
+    return (i16 != nullptr && i32 != nullptr && i16->seconds > 0)
+               ? i32->seconds / i16->seconds
+               : 0.0;
+  };
+  const double idx16_bf16_speedup = idx16_speedup("bf16");
+  const double idx16_fp16_speedup = idx16_speedup("fp16");
 
   // Smoke gate for CI: the memory-wall invariant. A 16-bit ELL SpMV must
-  // model strictly fewer bytes per row than the fp32 kernel; if a format or
-  // layout change regresses that, the whole mixed-precision speedup story
-  // is broken and the benchmark exits nonzero.
-  const Row* f32 = find_row(rows, "spmv_ell", "fp32", "scalar");
+  // model strictly fewer bytes per row than the fp32 idx32 kernel; if a
+  // format or layout change regresses that, the whole mixed-precision
+  // speedup story is broken and the benchmark exits nonzero.
+  const Row* f32 = find_row(rows, "spmv_ell", "fp32", "scalar", "idx32");
   bool gate_pass = f32 != nullptr;
   for (const Row& r : rows) {
     if (r.kernel == "spmv_ell" && (r.format == "bf16" || r.format == "fp16")) {
@@ -370,22 +483,47 @@ int main(int argc, char** argv) {
                   r.bytes_per_row < f32->bytes_per_row;
     }
   }
+  // Compressed-index gate: with value bytes already halved, index bytes are
+  // the dominant SpMV traffic — 16-bit deltas must model strictly below the
+  // 32-bit layout (27×2 instead of 27×4 per row here) or the next format
+  // shrink has nothing to stand on. When the grid's column window makes the
+  // delta layout infeasible (the documented ≥ ~181³ single-rank fallback),
+  // there is nothing to gate: the idx16 rows are absent by design and the
+  // gate reports a skip, not a failure.
+  const bool idx16_feasible = ell_idx16_feasible(prob.a);
+  const Row* b16_i16 = find_row(rows, "spmv_ell", "bf16", "staged", "idx16");
+  const Row* b16_i32 = find_row(rows, "spmv_ell", "bf16", "staged", "idx32");
+  const bool idx16_gate_pass =
+      !idx16_feasible ||
+      (b16_i16 != nullptr && b16_i32 != nullptr &&
+       b16_i16->bytes_per_row < b16_i32->bytes_per_row);
 
   if (json) {
-    print_json(rows, nx, gate_pass, bf16_speedup, fp16_speedup);
+    print_json(rows, nx, gate_pass, idx16_gate_pass, idx16_feasible,
+               bf16_speedup, fp16_speedup, idx16_bf16_speedup,
+               idx16_fp16_speedup);
   } else {
-    std::printf("%-16s %-6s %-8s %10s %12s %12s %7s\n", "kernel", "format",
-                "variant", "GB/s", "bytes/row", "us/call", "reps");
+    std::printf("%-16s %-6s %-8s %-6s %10s %12s %12s %7s\n", "kernel",
+                "format", "variant", "index", "GB/s", "bytes/row", "us/call",
+                "reps");
     for (const Row& r : rows) {
-      std::printf("%-16s %-6s %-8s %10.2f %12.1f %12.2f %7d\n",
+      std::printf("%-16s %-6s %-8s %-6s %10.2f %12.1f %12.2f %7d\n",
                   r.kernel.c_str(), r.format.c_str(), r.variant.c_str(),
-                  r.gbs(), r.bytes_per_row, r.seconds * 1e6, r.reps);
+                  r.index.c_str(), r.gbs(), r.bytes_per_row, r.seconds * 1e6,
+                  r.reps);
     }
     std::printf("\nstaged 16-bit ELL SpMV speedup vs scalar: bf16 %.2fx, "
                 "fp16 %.2fx\n",
                 bf16_speedup, fp16_speedup);
-    std::printf("gate (16-bit SpMV bytes/row < fp32): %s\n",
+    std::printf("idx16 vs idx32 staged SpMV speedup: bf16 %.2fx, "
+                "fp16 %.2fx\n",
+                idx16_bf16_speedup, idx16_fp16_speedup);
+    std::printf("gate (16-bit SpMV bytes/row < fp32 idx32): %s\n",
                 gate_pass ? "PASS" : "FAIL");
+    std::printf("gate (bf16 idx16 bytes/row < bf16 idx32): %s\n",
+                !idx16_feasible ? "SKIP (idx16 infeasible at this grid)"
+                : idx16_gate_pass ? "PASS"
+                                  : "FAIL");
   }
-  return gate_pass ? 0 : 1;
+  return (gate_pass && idx16_gate_pass) ? 0 : 1;
 }

@@ -5,8 +5,11 @@
 #   bench/run_bench.sh [output.json]
 #
 # Env: BUILD_DIR (default: build), plus the usual HPGMX_* scale knobs
-# (HPGMX_NX, HPGMX_BENCH_SECONDS, ...). Exits nonzero when the benchmark's
-# 16-bit bytes/row gate fails, so CI can call this directly.
+# (HPGMX_NX, HPGMX_BENCH_SECONDS, ...). The emitted JSON covers both ELL
+# index layouts (idx32 absolute columns vs idx16 compressed deltas). Exits
+# nonzero when either micro_kernels gate fails — 16-bit value formats must
+# model fewer SpMV bytes/row than fp32, and bf16+idx16 must model strictly
+# fewer than bf16+idx32 — so CI can call this directly.
 set -eu
 
 BUILD_DIR=${BUILD_DIR:-build}

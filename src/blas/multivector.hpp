@@ -10,11 +10,13 @@
 // writes straight into the next column).
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "base/aligned_vector.hpp"
 #include "base/error.hpp"
 #include "base/types.hpp"
+#include "blas/vector_ops.hpp"
 #include "comm/comm.hpp"
 
 namespace hpgmx {
@@ -99,6 +101,46 @@ void gemv_n_sub(const MultiVector<T>& q, int k, std::span<const T> h,
     }
     wv[i] = static_cast<T>(acc);
   }
+}
+
+/// w ← w − Q[:,1:k] h with the local ‖w‖² folded into the same sweep — the
+/// CGS2 normalization fusion: the norm that follows the second projection
+/// pass (alg. 3 line 26) rides on the w values the update already holds in
+/// registers, saving the separate full read sweep of w. The reduction is
+/// the same ordered per-kReduceBlock double partial sum as
+/// dot_span_blocked(w, w), computed from the *stored* (rounded) w values,
+/// so `gemv_n_sub_norm(...)` is bit-identical to `gemv_n_sub(...);
+/// dot_span_blocked(w, w)` for any thread count — the contract the
+/// solvers' fused/unfused toggle (HPGMX_FUSED) is tested on.
+template <typename T>
+[[nodiscard]] double gemv_n_sub_norm(const MultiVector<T>& q, int k,
+                                     std::span<const T> h, std::span<T> w) {
+  HPGMX_CHECK(k >= 0 && k <= q.cols());
+  const local_index_t n = q.rows();
+  const T* __restrict qd = q.data();
+  const T* __restrict hv = h.data();
+  T* __restrict wv = w.data();
+  const std::size_t nblocks =
+      (static_cast<std::size_t>(n) + detail::kReduceBlock - 1) /
+      detail::kReduceBlock;
+  AlignedVector<double> partial(nblocks, 0.0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::size_t i0 = blk * detail::kReduceBlock;
+    const std::size_t i1 =
+        std::min(static_cast<std::size_t>(n), i0 + detail::kReduceBlock);
+    for (std::size_t i = i0; i < i1; ++i) {
+      accum_t<T> acc = wv[i];
+      for (int j = 0; j < k; ++j) {
+        acc -= qd[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+                  i] *
+               hv[j];
+      }
+      wv[i] = static_cast<T>(acc);
+    }
+    partial[blk] = detail::dot_block(wv + i0, wv + i0, i1 - i0);
+  }
+  return detail::ordered_sum(partial.data(), partial.size());
 }
 
 /// w ← Q[:,1:k] t (used for the restart correction r = Q t, alg. 3 line 46).

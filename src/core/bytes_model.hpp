@@ -13,33 +13,51 @@
 namespace hpgmx {
 
 // Runtime-format variants: `value_bytes` is the stored width of one value
-// (PrecisionTraits<T>::bytes / precision_bytes(p)). These are what
-// schedule-driven accounting calls, with one width per multigrid level;
-// the templated wrappers below delegate here.
+// (PrecisionTraits<T>::bytes / precision_bytes(p)); `index_bytes` is the
+// stored width of one column index (sizeof(local_index_t), or
+// sizeof(ell_delta_t) on the compressed-index ELL path —
+// EllMatrix::index_bytes()). These are what schedule-driven accounting
+// calls, with one width per multigrid level; the templated wrappers below
+// delegate here at the uncompressed default.
+
+/// Column-index width of the uncompressed formats (CSR, 32-bit ELL) — the
+/// historical constant every `sizeof(local_index_t)` charge came from.
+inline constexpr std::size_t kIndexBytes32 = sizeof(local_index_t);
+/// Column-index width of the compressed (16-bit delta) ELL path.
+inline constexpr std::size_t kIndexBytes16 = sizeof(ell_delta_t);
 
 /// y = A x: matrix values + column indices once, x gathered (~n unique
 /// entries), y written.
 [[nodiscard]] constexpr double spmv_bytes(std::int64_t nnz, local_index_t n,
-                                          std::size_t value_bytes) {
+                                          std::size_t value_bytes,
+                                          std::size_t index_bytes =
+                                              kIndexBytes32) {
   return static_cast<double>(nnz) *
-             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+             (static_cast<double>(value_bytes) +
+              static_cast<double>(index_bytes)) +
          2.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
 }
 
 /// One GS relaxation sweep: like SpMV plus the diagonal array and the
 /// read-modify-write of z.
 [[nodiscard]] constexpr double gs_sweep_bytes(std::int64_t nnz, local_index_t n,
-                                              std::size_t value_bytes) {
+                                              std::size_t value_bytes,
+                                              std::size_t index_bytes =
+                                                  kIndexBytes32) {
   return static_cast<double>(nnz) *
-             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+             (static_cast<double>(value_bytes) +
+              static_cast<double>(index_bytes)) +
          4.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
 }
 
 /// r = b − A x.
 [[nodiscard]] constexpr double residual_bytes(std::int64_t nnz, local_index_t n,
-                                              std::size_t value_bytes) {
+                                              std::size_t value_bytes,
+                                              std::size_t index_bytes =
+                                                  kIndexBytes32) {
   return static_cast<double>(nnz) *
-             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+             (static_cast<double>(value_bytes) +
+              static_cast<double>(index_bytes)) +
          3.0 * static_cast<double>(n) * static_cast<double>(value_bytes);
 }
 
@@ -49,16 +67,18 @@ namespace hpgmx {
 [[nodiscard]] constexpr double fused_restrict_bytes(
     std::int64_t nnz_sel, local_index_t n_fine, local_index_t n_coarse,
     std::size_t value_bytes, std::size_t coarse_value_bytes) {
+  // CSR kernel + injection maps: both keep 32-bit indices (the compressed
+  // 16-bit delta stream exists only in the ELL layout).
   return static_cast<double>(nnz_sel) *
-             (static_cast<double>(value_bytes) + sizeof(local_index_t)) +
+             (static_cast<double>(value_bytes) + kIndexBytes32) +
          static_cast<double>(n_fine) *
              static_cast<double>(value_bytes) +  // gathered x
          static_cast<double>(n_coarse) *
              (static_cast<double>(value_bytes) +
-              sizeof(local_index_t)) +  // b at c2f + map
+              kIndexBytes32) +  // b at c2f + map
          static_cast<double>(n_coarse) *
              (static_cast<double>(coarse_value_bytes) +
-              sizeof(local_index_t));  // rc store + map
+              kIndexBytes32);  // rc store + map
 }
 
 /// Injection prolongation + correction: read the coarse correction and the
@@ -117,18 +137,23 @@ struct MgLevelDims {
 /// restriction and the prolongation between adjacent levels, each charged
 /// at its level's format. `value_bytes[l]` is the stored width at level l
 /// (`value_bytes.size() == levels.size()`); with a uniform width this is
-/// exactly the sum of the templated per-motif formulas.
-[[nodiscard]] inline double mg_vcycle_bytes(std::span<const MgLevelDims> levels,
-                                            std::span<const std::size_t> value_bytes,
-                                            int pre_sweeps, int post_sweeps,
-                                            int coarse_sweeps) {
+/// exactly the sum of the templated per-motif formulas. `index_bytes[l]`,
+/// when non-empty, is the stored ELL column-index width of level l's
+/// smoother (2 on the compressed-delta path, 4 otherwise); empty charges
+/// the historical 32-bit width everywhere.
+[[nodiscard]] inline double mg_vcycle_bytes(
+    std::span<const MgLevelDims> levels,
+    std::span<const std::size_t> value_bytes, int pre_sweeps, int post_sweeps,
+    int coarse_sweeps, std::span<const std::size_t> index_bytes = {}) {
   double total = 0.0;
   for (std::size_t l = 0; l < levels.size(); ++l) {
     const MgLevelDims& d = levels[l];
     const bool coarsest = (l + 1 == levels.size());
     const int sweeps =
         coarsest ? coarse_sweeps : pre_sweeps + post_sweeps;
-    total += sweeps * gs_sweep_bytes(d.nnz, d.rows, value_bytes[l]);
+    const std::size_t ib =
+        index_bytes.empty() ? kIndexBytes32 : index_bytes[l];
+    total += sweeps * gs_sweep_bytes(d.nnz, d.rows, value_bytes[l], ib);
     if (!coarsest) {
       total += fused_restrict_bytes(d.nnz_coarse_rows, d.rows, d.coarse_rows,
                                     value_bytes[l], value_bytes[l + 1]);
@@ -163,8 +188,10 @@ template <typename T>
 
 /// w = A·v with ⟨w,v⟩ folded in: SpMV traffic only.
 [[nodiscard]] constexpr double spmv_dot_bytes(std::int64_t nnz, local_index_t n,
-                                              std::size_t value_bytes) {
-  return spmv_bytes(nnz, n, value_bytes);
+                                              std::size_t value_bytes,
+                                              std::size_t index_bytes =
+                                                  kIndexBytes32) {
+  return spmv_bytes(nnz, n, value_bytes, index_bytes);
 }
 
 /// w = αx + βy with ‖w‖² folded in: WAXPBY traffic only.
@@ -176,8 +203,26 @@ template <typename T>
 /// r = b − Ax with ‖r‖² folded in: residual traffic only.
 [[nodiscard]] constexpr double residual_norm_bytes(std::int64_t nnz,
                                                    local_index_t n,
-                                                   std::size_t value_bytes) {
-  return residual_bytes(nnz, n, value_bytes);
+                                                   std::size_t value_bytes,
+                                                   std::size_t index_bytes =
+                                                       kIndexBytes32) {
+  return residual_bytes(nnz, n, value_bytes, index_bytes);
+}
+
+/// CGS2 projection update w ← w − Q[:,1:k] h: k basis-vector streams read
+/// once plus the read-modify-write of w.
+[[nodiscard]] constexpr double gemv_n_sub_bytes(local_index_t n, int k,
+                                                std::size_t value_bytes) {
+  return (static_cast<double>(k) + 2.0) * static_cast<double>(n) *
+         static_cast<double>(value_bytes);
+}
+
+/// w ← w − Q h with ‖w‖² folded into the same sweep (the CGS2
+/// normalization-norm fusion): projection traffic only — the separate norm
+/// sweep (dot_bytes) is what the fusion saves.
+[[nodiscard]] constexpr double gemv_n_norm_bytes(local_index_t n, int k,
+                                                 std::size_t value_bytes) {
+  return gemv_n_sub_bytes(n, k, value_bytes);
 }
 
 template <typename T>

@@ -129,7 +129,12 @@ class Gmres {
         auto w = q.column(k + 1);
         a_->spmv(comm, std::span<T>(z_full.data(), z_full.size()), w);
 
-        // CGS2 with re-orthogonalization (alg. 3 lines 20–27).
+        // CGS2 with re-orthogonalization (alg. 3 lines 20–27). The ‖w‖² of
+        // the normalization that follows is folded into the second
+        // projection pass (gemv_n_sub_norm) on the fused path; the unfused
+        // leg recomputes the same ordered per-block partials in a separate
+        // sweep, so the toggle changes bytes moved but not one bit.
+        double beta_sq;
         {
           ScopedMotif sm(stats_, Motif::Ortho, cgs2_flops(n, k + 1));
           gemv_t(comm, q, k + 1, std::span<const T>(w.data(), w.size()),
@@ -137,7 +142,15 @@ class Gmres {
           gemv_n_sub(q, k + 1, std::span<const T>(h1.data(), h1.size()), w);
           gemv_t(comm, q, k + 1, std::span<const T>(w.data(), w.size()),
                  std::span<T>(h2.data(), h2.size()));
-          gemv_n_sub(q, k + 1, std::span<const T>(h2.data(), h2.size()), w);
+          if (opts_.fused_passes) {
+            beta_sq = gemv_n_sub_norm(
+                q, k + 1, std::span<const T>(h2.data(), h2.size()), w);
+          } else {
+            gemv_n_sub(q, k + 1, std::span<const T>(h2.data(), h2.size()), w);
+            beta_sq = dot_span_blocked(
+                std::span<const T>(w.data(), w.size()),
+                std::span<const T>(w.data(), w.size()));
+          }
         }
         for (int j = 0; j <= k; ++j) {
           h[static_cast<std::size_t>(j)] =
@@ -147,8 +160,8 @@ class Gmres {
         double beta;
         {
           ScopedMotif sm(stats_, Motif::Ortho, normalize_flops(n));
-          beta = static_cast<double>(
-              nrm2<T>(comm, std::span<const T>(w.data(), w.size())));
+          beta = std::sqrt(
+              comm.allreduce_scalar(beta_sq, ReduceOp::Sum));
           if (beta > 0) {
             scal(static_cast<T>(1.0 / beta), w);
           }

@@ -137,6 +137,10 @@ class GmresIr {
         auto w = q.column(k + 1);
         a_low_->spmv(comm, std::span<TLow>(z_full.data(), z_full.size()), w);
 
+        // ‖w‖² folds into the second CGS2 projection pass (fused) or is
+        // recomputed in a bit-identical separate sweep (unfused) — see
+        // gemv_n_sub_norm.
+        double beta_sq;
         {
           ScopedMotif sm(stats_, Motif::Ortho, cgs2_flops(n, k + 1));
           gemv_t(comm, q, k + 1, std::span<const TLow>(w.data(), w.size()),
@@ -144,7 +148,16 @@ class GmresIr {
           gemv_n_sub(q, k + 1, std::span<const TLow>(h1.data(), h1.size()), w);
           gemv_t(comm, q, k + 1, std::span<const TLow>(w.data(), w.size()),
                  std::span<TLow>(h2.data(), h2.size()));
-          gemv_n_sub(q, k + 1, std::span<const TLow>(h2.data(), h2.size()), w);
+          if (opts_.fused_passes) {
+            beta_sq = gemv_n_sub_norm(
+                q, k + 1, std::span<const TLow>(h2.data(), h2.size()), w);
+          } else {
+            gemv_n_sub(q, k + 1, std::span<const TLow>(h2.data(), h2.size()),
+                       w);
+            beta_sq = dot_span_blocked(
+                std::span<const TLow>(w.data(), w.size()),
+                std::span<const TLow>(w.data(), w.size()));
+          }
         }
         for (int j = 0; j <= k; ++j) {
           h[static_cast<std::size_t>(j)] =
@@ -154,8 +167,8 @@ class GmresIr {
         double beta;
         {
           ScopedMotif sm(stats_, Motif::Ortho, normalize_flops(n));
-          beta = static_cast<double>(
-              nrm2<TLow>(comm, std::span<const TLow>(w.data(), w.size())));
+          beta = std::sqrt(
+              comm.allreduce_scalar(beta_sq, ReduceOp::Sum));
           if (beta > 0) {
             scal(static_cast<TLow>(1.0 / beta), w);
           }

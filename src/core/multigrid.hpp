@@ -205,7 +205,8 @@ class Multigrid {
                 hierarchy.levels[static_cast<std::size_t>(l)].a,
                 hierarchy.structures[static_cast<std::size_t>(l)].get(),
                 params.opt, tag_base + l,
-                value_scale * level_scale_[static_cast<std::size_t>(l)]),
+                value_scale * level_scale_[static_cast<std::size_t>(l)],
+                params.index_width),
             {},
             {}};
         const auto len = static_cast<std::size_t>(lvl.op.vec_len());

@@ -36,6 +36,21 @@ enum class OptLevel {
   return std::nullopt;
 }
 
+/// Parse the HPGMX_IDX tokens: "auto", "16"/"idx16", "32"/"idx32".
+[[nodiscard]] inline std::optional<IndexWidth> parse_index_width(
+    std::string_view s) {
+  if (s == "auto") {
+    return IndexWidth::Auto;
+  }
+  if (s == "16" || s == "idx16") {
+    return IndexWidth::Idx16;
+  }
+  if (s == "32" || s == "idx32") {
+    return IndexWidth::Idx32;
+  }
+  return std::nullopt;
+}
+
 /// Run-time parameters of the benchmark (paper Table 1 values in comments).
 struct BenchParams {
   // Local (per-rank) grid. Paper: 320^3 per GCD; default here is sized for
@@ -60,6 +75,12 @@ struct BenchParams {
   std::uint64_t coloring_seed = 42; ///< JPL weight seed
 
   OptLevel opt = OptLevel::Optimized;
+
+  /// Column-index width of the optimized ELL format (HPGMX_IDX=auto|16|32).
+  /// Auto stores 16-bit delta indices whenever the local column window fits
+  /// ±32767 and falls back to 32-bit otherwise; 32 pins the uncompressed
+  /// layout for ablations. Bit-identical either way — only bytes move.
+  IndexWidth index_width = IndexWidth::Auto;
 
   /// Single-pass fused solver kernels (spmv_dot / waxpby_norm /
   /// residual_norm2). Disabling runs the bit-identical unfused sequences —
@@ -89,8 +110,9 @@ struct BenchParams {
   /// Apply HPGMX_NX/NY/NZ, HPGMX_RESTART, HPGMX_MAXITERS, HPGMX_BENCH_SECONDS,
   /// HPGMX_GAMMA, HPGMX_MG_LEVELS, HPGMX_PRECISION (fp64|fp32|bf16|fp16),
   /// HPGMX_PRECISION_SCHEDULE (comma-separated per-level formats, e.g.
-  /// fp32,bf16,bf16 — overrides HPGMX_PRECISION with its entry format) and
-  /// HPGMX_OPT (reference|optimized) environment overrides.
+  /// fp32,bf16,bf16 — overrides HPGMX_PRECISION with its entry format),
+  /// HPGMX_OPT (reference|optimized) and HPGMX_IDX (auto|16|32) environment
+  /// overrides.
   static BenchParams from_env() {
     BenchParams p;
     p.nx = static_cast<local_index_t>(env_int_or("HPGMX_NX", p.nx));
@@ -112,6 +134,13 @@ struct BenchParams {
                       "HPGMX_OPT='" << *opt
                                     << "' is not a path (reference|optimized)");
       p.opt = *parsed;
+    }
+    if (const auto idx = env_string("HPGMX_IDX"); idx.has_value()) {
+      const auto parsed = parse_index_width(*idx);
+      HPGMX_CHECK_MSG(parsed.has_value(),
+                      "HPGMX_IDX='" << *idx
+                                    << "' is not an index width (auto|16|32)");
+      p.index_width = *parsed;
     }
     return p;
   }

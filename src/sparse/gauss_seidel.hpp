@@ -111,32 +111,46 @@ inline constexpr std::size_t kGsBlockRows = 1024;
 /// set or a subset of it): slot loop outside the block so the slot-major
 /// arrays stream instead of striding by num_rows per row. This is the
 /// ablation baseline for the staged 16-bit path below (and the production
-/// kernel for the hardware types).
+/// kernel for the hardware types). Compressed-index matrices materialize an
+/// absolute-column tile per block-slot from the 16-bit delta stream
+/// (widen_delta_block_rows) — identical arithmetic, half the index bytes.
 template <typename T>
-void gs_update_rows_ell_blocked_scalar(const local_index_t n,
-                                       const local_index_t slots,
-                                       const local_index_t* __restrict ci,
-                                       const T* __restrict av,
-                                       const T* __restrict dv,
+void gs_update_rows_ell_blocked_scalar(const EllMatrix<T>& a,
                                        const T* __restrict rv,
                                        T* __restrict zv,
                                        std::span<const local_index_t> rows) {
+  const local_index_t n = a.num_rows;
+  const local_index_t* __restrict ci = a.col_idx.data();
+  const ell_delta_t* __restrict dd =
+      a.has_idx16() ? a.col_delta.data() : nullptr;
+  const T* __restrict av = a.values.data();
+  const T* __restrict dv = a.diag.data();
   const std::size_t nk = rows.size();
   const std::size_t nblocks = (nk + kGsBlockRows - 1) / kGsBlockRows;
 #pragma omp parallel for schedule(static)
   for (std::size_t blk = 0; blk < nblocks; ++blk) {
     const std::size_t k0 = blk * kGsBlockRows;
     const std::size_t k1 = std::min(nk, k0 + kGsBlockRows);
+    const std::size_t len = k1 - k0;
     accum_t<T> acc[kGsBlockRows];
+    local_index_t ctile[kGsBlockRows];
     for (std::size_t k = k0; k < k1; ++k) {
       acc[k - k0] = rv[rows[k]];
     }
-    for (local_index_t s = 0; s < slots; ++s) {
+    for (local_index_t s = 0; s < a.slots; ++s) {
       const std::size_t base =
           static_cast<std::size_t>(s) * static_cast<std::size_t>(n);
-      for (std::size_t k = k0; k < k1; ++k) {
-        const std::size_t at = base + static_cast<std::size_t>(rows[k]);
-        acc[k - k0] -= av[at] * zv[ci[at]];
+      if (dd != nullptr) {
+        widen_delta_block_rows(dd + base, rows.data() + k0, ctile, len);
+        for (std::size_t k = k0; k < k1; ++k) {
+          acc[k - k0] -= av[base + static_cast<std::size_t>(rows[k])] *
+                         zv[ctile[k - k0]];
+        }
+      } else {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const std::size_t at = base + static_cast<std::size_t>(rows[k]);
+          acc[k - k0] -= av[at] * zv[ci[at]];
+        }
       }
     }
     for (std::size_t k = k0; k < k1; ++k) {
@@ -153,14 +167,16 @@ void gs_update_rows_ell_blocked_scalar(const local_index_t n,
 /// and never vectorizes. The final diagonal solve runs on widened tiles
 /// too, with one batched narrow on the store.
 template <typename T>
-void gs_update_rows_ell_staged16(const local_index_t n,
-                                 const local_index_t slots,
-                                 const local_index_t* __restrict ci,
-                                 const T* __restrict av,
-                                 const T* __restrict dv,
+void gs_update_rows_ell_staged16(const EllMatrix<T>& a,
                                  const T* __restrict rv, T* __restrict zv,
                                  std::span<const local_index_t> rows) {
   static_assert(is_16bit_value_v<T>);
+  const local_index_t n = a.num_rows;
+  const local_index_t* __restrict ci = a.col_idx.data();
+  const ell_delta_t* __restrict dd =
+      a.has_idx16() ? a.col_delta.data() : nullptr;
+  const T* __restrict av = a.values.data();
+  const T* __restrict dv = a.diag.data();
   const std::size_t nk = rows.size();
   const std::size_t nblocks = (nk + kGsBlockRows - 1) / kGsBlockRows;
 #pragma omp parallel for schedule(static)
@@ -173,17 +189,26 @@ void gs_update_rows_ell_staged16(const local_index_t n,
     float zstage[kGsBlockRows];
     T vtile[kGsBlockRows];
     T ztile[kGsBlockRows];
+    local_index_t ctile[kGsBlockRows];
     for (std::size_t k = 0; k < len; ++k) {
       ztile[k] = rv[rws[k]];
     }
     widen_block(ztile, acc, len);
-    for (local_index_t s = 0; s < slots; ++s) {
+    for (local_index_t s = 0; s < a.slots; ++s) {
       const std::size_t base =
           static_cast<std::size_t>(s) * static_cast<std::size_t>(n);
-      for (std::size_t k = 0; k < len; ++k) {
-        const std::size_t at = base + static_cast<std::size_t>(rws[k]);
-        vtile[k] = av[at];
-        ztile[k] = zv[ci[at]];
+      if (dd != nullptr) {
+        widen_delta_block_rows(dd + base, rws, ctile, len);
+        for (std::size_t k = 0; k < len; ++k) {
+          vtile[k] = av[base + static_cast<std::size_t>(rws[k])];
+          ztile[k] = zv[ctile[k]];
+        }
+      } else {
+        for (std::size_t k = 0; k < len; ++k) {
+          const std::size_t at = base + static_cast<std::size_t>(rws[k]);
+          vtile[k] = av[at];
+          ztile[k] = zv[ci[at]];
+        }
       }
       widen_block(vtile, vstage, len);
       widen_block(ztile, zstage, len);
@@ -213,17 +238,13 @@ void gs_update_rows_ell_staged16(const local_index_t n,
 /// Blocked relaxation update over a sorted row list, dispatching 16-bit
 /// value types to the staged path.
 template <typename T>
-void gs_update_rows_ell_blocked(const local_index_t n,
-                                const local_index_t slots,
-                                const local_index_t* __restrict ci,
-                                const T* __restrict av,
-                                const T* __restrict dv,
-                                const T* __restrict rv, T* __restrict zv,
+void gs_update_rows_ell_blocked(const EllMatrix<T>& a, const T* __restrict rv,
+                                T* __restrict zv,
                                 std::span<const local_index_t> rows) {
   if constexpr (is_16bit_value_v<T>) {
-    gs_update_rows_ell_staged16(n, slots, ci, av, dv, rv, zv, rows);
+    gs_update_rows_ell_staged16(a, rv, zv, rows);
   } else {
-    gs_update_rows_ell_blocked_scalar(n, slots, ci, av, dv, rv, zv, rows);
+    gs_update_rows_ell_blocked_scalar(a, rv, zv, rows);
   }
 }
 
@@ -275,9 +296,8 @@ template <typename T>
 void gs_sweep_colored_ell(const EllMatrix<T>& a, const RowPartition& colors,
                           std::span<const T> r, std::span<T> z) {
   for (int c = 0; c < colors.num_groups(); ++c) {
-    detail::gs_update_rows_ell_blocked(a.num_rows, a.slots, a.col_idx.data(),
-                                       a.values.data(), a.diag.data(),
-                                       r.data(), z.data(), colors.group(c));
+    detail::gs_update_rows_ell_blocked(a, r.data(), z.data(),
+                                       colors.group(c));
   }
 }
 
@@ -288,9 +308,8 @@ void gs_sweep_colored_ell_scalar(const EllMatrix<T>& a,
                                  const RowPartition& colors,
                                  std::span<const T> r, std::span<T> z) {
   for (int c = 0; c < colors.num_groups(); ++c) {
-    detail::gs_update_rows_ell_blocked_scalar(
-        a.num_rows, a.slots, a.col_idx.data(), a.values.data(), a.diag.data(),
-        r.data(), z.data(), colors.group(c));
+    detail::gs_update_rows_ell_blocked_scalar(a, r.data(), z.data(),
+                                              colors.group(c));
   }
 }
 
@@ -299,9 +318,7 @@ template <typename T>
 void gs_sweep_rows_ell(const EllMatrix<T>& a,
                        std::span<const local_index_t> rows,
                        std::span<const T> r, std::span<T> z) {
-  detail::gs_update_rows_ell_blocked(a.num_rows, a.slots, a.col_idx.data(),
-                                     a.values.data(), a.diag.data(), r.data(),
-                                     z.data(), rows);
+  detail::gs_update_rows_ell_blocked(a, r.data(), z.data(), rows);
 }
 
 /// One *backward* multicolor sweep (colors in descending order): combined

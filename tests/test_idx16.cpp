@@ -1,0 +1,374 @@
+// Compressed-index (16-bit delta) ELL tests.
+//
+// The idx16 layout stores column indices as int16 deltas col − row next to
+// the absolute 32-bit columns; every kernel resolves them back to the same
+// absolute column per tile, so the contract is *bit identity*: any kernel
+// on an idx16 matrix must produce exactly the bits of the idx32 layout,
+// for every storage format and both dispatch paths. Plus: feasibility
+// (ell_from_csr must refuse windows beyond ±32767 and fall back), and an
+// end-to-end GMRES-IR solve pinned to HPGMX_IDX=16 converging to 1e-9.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "coloring/coloring.hpp"
+#include "core/dist_operator.hpp"
+#include "core/gmres_ir.hpp"
+#include "core/multigrid.hpp"
+#include "grid/problem.hpp"
+#include "precision/float16.hpp"
+#include "precision/scale_guard.hpp"
+#include "sparse/gauss_seidel.hpp"
+#include "sparse/kernels.hpp"
+
+namespace hpgmx {
+namespace {
+
+ProblemHierarchy make_hierarchy(local_index_t n, const BenchParams& params) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = n;
+  pp.gamma = params.gamma;
+  return build_hierarchy(generate_problem(ProcessGrid(1, 1, 1), 0, pp),
+                         params.mg_levels, params.coloring_seed);
+}
+
+template <typename T>
+void fill_pattern(std::span<T> v, float shift = 0.0f) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float f =
+        0.5f + 0.03125f * static_cast<float>(i % 37) - 0.25f + shift;
+    v[i] = static_cast<T>(f);
+  }
+}
+
+template <typename T>
+void expect_bitwise_equal(std::span<const T> a, std::span<const T> b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(T)));
+}
+
+// ---------------------------------------------------------------------------
+// Construction: delta stream correctness and the requested-width contract
+
+TEST(Idx16Construction, DeltasReconstructAbsoluteColumns) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 8;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const EllMatrix<double> e = ell_from_csr(prob.a, IndexWidth::Idx16);
+  ASSERT_TRUE(e.has_idx16());
+  EXPECT_EQ(e.index_bytes(), sizeof(ell_delta_t));
+  ASSERT_EQ(e.col_delta.size(), e.col_idx.size());
+  for (local_index_t s = 0; s < e.slots; ++s) {
+    for (local_index_t r = 0; r < e.num_rows; ++r) {
+      const std::size_t at = e.slot_index(r, s);
+      EXPECT_EQ(r + static_cast<local_index_t>(e.col_delta[at]),
+                e.col_idx[at])
+          << "slot " << s << " row " << r;
+    }
+  }
+}
+
+TEST(Idx16Construction, Idx32RequestKeepsAbsoluteLayoutOnly) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 8;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const EllMatrix<double> e = ell_from_csr(prob.a, IndexWidth::Idx32);
+  EXPECT_FALSE(e.has_idx16());
+  EXPECT_EQ(e.index_bytes(), sizeof(local_index_t));
+  EXPECT_TRUE(e.col_delta.empty());
+}
+
+TEST(Idx16Construction, AutoCompressesWhenFeasible) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 8;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  EXPECT_TRUE(ell_idx16_feasible(prob.a));
+  const EllMatrix<double> e = ell_from_csr(prob.a);  // Auto default
+  EXPECT_TRUE(e.has_idx16());
+}
+
+TEST(Idx16Construction, ConvertCarriesDeltaStream) {
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 8;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const EllMatrix<double> e = ell_from_csr(prob.a, IndexWidth::Idx16);
+  const EllMatrix<bf16_t> elo = e.convert<bf16_t>();
+  ASSERT_TRUE(elo.has_idx16());
+  ASSERT_EQ(elo.col_delta.size(), e.col_delta.size());
+  EXPECT_EQ(0, std::memcmp(elo.col_delta.data(), e.col_delta.data(),
+                           e.col_delta.size() * sizeof(ell_delta_t)));
+}
+
+// ---------------------------------------------------------------------------
+// Feasibility: an oversized synthetic column window must fall back to idx32
+
+/// Two owned rows plus one entry addressing a remapped halo column far
+/// beyond the ±32767 delta window (the shape a large local grid's first
+/// low-face halo reference takes).
+[[nodiscard]] CsrMatrix<double> oversized_window_matrix(local_index_t far_col) {
+  CsrBuilder<double> b(/*num_rows=*/2, /*num_cols=*/far_col + 1,
+                       /*num_owned_cols=*/2);
+  b.push(0, 4.0);
+  b.push(far_col, -1.0);
+  b.finish_row();
+  b.push(1, 4.0);
+  b.finish_row();
+  return b.build();
+}
+
+TEST(Idx16Feasibility, OversizedWindowFallsBackTo32Bit) {
+  const CsrMatrix<double> a = oversized_window_matrix(40000);
+  EXPECT_EQ(max_col_delta(a), 40000);
+  EXPECT_FALSE(ell_idx16_feasible(a));
+  for (const IndexWidth w :
+       {IndexWidth::Auto, IndexWidth::Idx16, IndexWidth::Idx32}) {
+    const EllMatrix<double> e = ell_from_csr(a, w);
+    EXPECT_FALSE(e.has_idx16()) << index_width_name(w);
+    EXPECT_EQ(e.index_bytes(), sizeof(local_index_t));
+  }
+  // The fallback matrix still multiplies correctly.
+  AlignedVector<double> x(40001, 1.0);
+  AlignedVector<double> y(2, 0.0);
+  ell_spmv(ell_from_csr(a), std::span<const double>(x.data(), x.size()),
+           std::span<double>(y.data(), y.size()));
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 4.0);
+}
+
+TEST(Idx16Feasibility, ExactlyAtTheWindowEdgeCompresses) {
+  const CsrMatrix<double> a = oversized_window_matrix(kEllDeltaMax);
+  EXPECT_EQ(max_col_delta(a), kEllDeltaMax);
+  EXPECT_TRUE(ell_idx16_feasible(a));
+  const EllMatrix<double> e = ell_from_csr(a, IndexWidth::Idx16);
+  ASSERT_TRUE(e.has_idx16());
+  AlignedVector<double> x(static_cast<std::size_t>(kEllDeltaMax) + 1, 1.0);
+  AlignedVector<double> y(2, 0.0);
+  ell_spmv(e, std::span<const double>(x.data(), x.size()),
+           std::span<double>(y.data(), y.size()));
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bit-identity across index widths, all formats
+
+template <typename T>
+class Idx16Kernels : public ::testing::Test {};
+
+using AllFormats = ::testing::Types<double, float, bf16_t, fp16_t>;
+TYPED_TEST_SUITE(Idx16Kernels, AllFormats);
+
+TYPED_TEST(Idx16Kernels, SpmvBitIdenticalAcrossIndexWidths) {
+  using T = TypeParam;
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 12;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  const EllMatrix<T> e32 = ell_from_csr(a, IndexWidth::Idx32);
+  const EllMatrix<T> e16 = ell_from_csr(a, IndexWidth::Idx16);
+  ASSERT_TRUE(e16.has_idx16());
+  const auto n = static_cast<std::size_t>(a.num_rows);
+  AlignedVector<T> x(static_cast<std::size_t>(a.num_cols), T(0));
+  fill_pattern(std::span<T>(x.data(), x.size()));
+  AlignedVector<T> y32(n, T(0));
+  AlignedVector<T> y16(n, T(0));
+
+  ell_spmv(e32, std::span<const T>(x.data(), x.size()),
+           std::span<T>(y32.data(), n));
+  ell_spmv(e16, std::span<const T>(x.data(), x.size()),
+           std::span<T>(y16.data(), n));
+  expect_bitwise_equal(std::span<const T>(y32.data(), n),
+                       std::span<const T>(y16.data(), n));
+
+  ell_spmv_scalar(e32, std::span<const T>(x.data(), x.size()),
+                  std::span<T>(y32.data(), n));
+  ell_spmv_scalar(e16, std::span<const T>(x.data(), x.size()),
+                  std::span<T>(y16.data(), n));
+  expect_bitwise_equal(std::span<const T>(y32.data(), n),
+                       std::span<const T>(y16.data(), n));
+
+  // Row-list variants (a strided subset stands in for interior/boundary).
+  AlignedVector<local_index_t> rows;
+  for (local_index_t r = 0; r < a.num_rows; r += 3) {
+    rows.push_back(r);
+  }
+  const std::span<const local_index_t> rspan(rows.data(), rows.size());
+  std::fill(y32.begin(), y32.end(), T(0));
+  std::fill(y16.begin(), y16.end(), T(0));
+  ell_spmv_rows(e32, std::span<const T>(x.data(), x.size()),
+                std::span<T>(y32.data(), n), rspan);
+  ell_spmv_rows(e16, std::span<const T>(x.data(), x.size()),
+                std::span<T>(y16.data(), n), rspan);
+  expect_bitwise_equal(std::span<const T>(y32.data(), n),
+                       std::span<const T>(y16.data(), n));
+
+  // Fused rows+dot: same partials, same stored y.
+  const double d32 = ell_spmv_rows_dot(
+      e32, std::span<const T>(x.data(), x.size()), std::span<T>(y32.data(), n),
+      rspan);
+  const double d16 = ell_spmv_rows_dot(
+      e16, std::span<const T>(x.data(), x.size()), std::span<T>(y16.data(), n),
+      rspan);
+  EXPECT_EQ(d32, d16);
+  expect_bitwise_equal(std::span<const T>(y32.data(), n),
+                       std::span<const T>(y16.data(), n));
+}
+
+TYPED_TEST(Idx16Kernels, GsSweepsBitIdenticalAcrossIndexWidths) {
+  using T = TypeParam;
+  ProblemParams pp;
+  pp.nx = pp.ny = pp.nz = 12;
+  const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
+  const CsrMatrix<T> a = prob.a.convert<T>();
+  const EllMatrix<T> e32 = ell_from_csr(a, IndexWidth::Idx32);
+  const EllMatrix<T> e16 = ell_from_csr(a, IndexWidth::Idx16);
+  ASSERT_TRUE(e16.has_idx16());
+  const auto colors = jpl_color(a, 42);
+  const RowPartition part = color_partition(colors);
+  const auto n = static_cast<std::size_t>(a.num_rows);
+  AlignedVector<T> r(n, T(0));
+  fill_pattern(std::span<T>(r.data(), r.size()), 0.125f);
+  AlignedVector<T> z32(static_cast<std::size_t>(a.num_cols), T(0));
+  AlignedVector<T> z16 = z32;
+
+  gs_sweep_colored_ell(e32, part, std::span<const T>(r.data(), n),
+                       std::span<T>(z32.data(), z32.size()));
+  gs_sweep_colored_ell(e16, part, std::span<const T>(r.data(), n),
+                       std::span<T>(z16.data(), z16.size()));
+  expect_bitwise_equal(std::span<const T>(z32.data(), z32.size()),
+                       std::span<const T>(z16.data(), z16.size()));
+
+  gs_sweep_colored_ell_scalar(e32, part, std::span<const T>(r.data(), n),
+                              std::span<T>(z32.data(), z32.size()));
+  gs_sweep_colored_ell_scalar(e16, part, std::span<const T>(r.data(), n),
+                              std::span<T>(z16.data(), z16.size()));
+  expect_bitwise_equal(std::span<const T>(z32.data(), z32.size()),
+                       std::span<const T>(z16.data(), z16.size()));
+}
+
+// Operator-level: the full optimized pipeline (overlap splits, fused
+// spmv_dot) must not see the index width either.
+TYPED_TEST(Idx16Kernels, DistOperatorBitIdenticalAcrossIndexWidths) {
+  using T = TypeParam;
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  SelfComm comm;
+  DistOperator<T> op32(h.levels[0].a, h.structures[0].get(),
+                       OptLevel::Optimized, /*tag=*/10, 1.0,
+                       IndexWidth::Idx32);
+  DistOperator<T> op16(h.levels[0].a, h.structures[0].get(),
+                       OptLevel::Optimized, /*tag=*/11, 1.0,
+                       IndexWidth::Idx16);
+  ASSERT_FALSE(op32.ell().has_idx16());
+  ASSERT_TRUE(op16.ell().has_idx16());
+  EXPECT_EQ(op32.ell_index_bytes(), sizeof(local_index_t));
+  EXPECT_EQ(op16.ell_index_bytes(), sizeof(ell_delta_t));
+
+  AlignedVector<T> x1(static_cast<std::size_t>(op32.vec_len()), T(0));
+  fill_pattern(std::span<T>(x1.data(), x1.size()));
+  AlignedVector<T> x2 = x1;
+  AlignedVector<T> y1(static_cast<std::size_t>(op32.num_owned()), T(0));
+  AlignedVector<T> y2 = y1;
+  op32.spmv(comm, std::span<T>(x1.data(), x1.size()),
+            std::span<T>(y1.data(), y1.size()));
+  op16.spmv(comm, std::span<T>(x2.data(), x2.size()),
+            std::span<T>(y2.data(), y2.size()));
+  expect_bitwise_equal(std::span<const T>(y1.data(), y1.size()),
+                       std::span<const T>(y2.data(), y2.size()));
+
+  const double d32 = op32.spmv_dot(comm, std::span<T>(x1.data(), x1.size()),
+                                   std::span<T>(y1.data(), y1.size()));
+  const double d16 = op16.spmv_dot(comm, std::span<T>(x2.data(), x2.size()),
+                                   std::span<T>(y2.data(), y2.size()));
+  EXPECT_EQ(d32, d16);
+
+  AlignedVector<T> r(static_cast<std::size_t>(op32.num_owned()), T(0));
+  fill_pattern(std::span<T>(r.data(), r.size()), 0.125f);
+  AlignedVector<T> z1(static_cast<std::size_t>(op32.vec_len()), T(0));
+  AlignedVector<T> z2 = z1;
+  op32.gs_forward(comm, std::span<const T>(r.data(), r.size()),
+                  std::span<T>(z1.data(), z1.size()));
+  op16.gs_forward(comm, std::span<const T>(r.data(), r.size()),
+                  std::span<T>(z2.data(), z2.size()));
+  expect_bitwise_equal(std::span<const T>(z1.data(), z1.size()),
+                       std::span<const T>(z2.data(), z2.size()));
+}
+
+// ---------------------------------------------------------------------------
+// ScaleGuard interaction: re-demotion must preserve the requested width
+
+TEST(Idx16Operator, SetValueScaleKeepsCompressedLayout) {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(8, params);
+  DistOperator<bf16_t> op(h.levels[0].a, h.structures[0].get(),
+                          OptLevel::Optimized, /*tag=*/12, 1.0,
+                          IndexWidth::Idx16);
+  ASSERT_TRUE(op.ell().has_idx16());
+  op.set_value_scale(0.5);
+  EXPECT_TRUE(op.ell().has_idx16());
+  op.set_value_scale(1.0);
+  EXPECT_TRUE(op.ell().has_idx16());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: GMRES-IR with the ELL index width pinned to 16 bit converges
+// to the benchmark tolerance, and the iterates match the idx32 run bit for
+// bit (the solver never observes the layout).
+
+template <typename TLow>
+SolveResult solve_ir_idx(const ProblemHierarchy& h, IndexWidth idx,
+                         std::span<double> x) {
+  BenchParams params;
+  params.index_width = idx;  // what HPGMX_IDX=16|32 sets via from_env()
+  SelfComm comm;
+  SolverOptions opts;
+  opts.max_iters = 500;
+  opts.tol = 1e-9;
+  opts.track_history = true;
+  ScaleGuard guard;
+  guard.initialize(hierarchy_max_abs_value(h),
+                   PrecisionTraits<TLow>::max_finite);
+  Multigrid<TLow> mg(h, params, /*tag_base=*/100, guard.scale());
+  DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(), params.opt,
+                           /*tag=*/90, 1.0, params.index_width);
+  GmresIr<TLow> solver(&a_d, &mg.level_op(0), &mg, opts);
+  solver.set_scale_guard(&guard);
+  return solver.solve(
+      comm,
+      std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()), x);
+}
+
+TEST(Idx16Solve, GmresIrConvergesUnderIdx16AndMatchesIdx32) {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  AlignedVector<double> x16(h.levels[0].b.size(), 0.0);
+  AlignedVector<double> x32(h.levels[0].b.size(), 0.0);
+  const SolveResult r16 = solve_ir_idx<float>(
+      h, IndexWidth::Idx16, std::span<double>(x16.data(), x16.size()));
+  const SolveResult r32 = solve_ir_idx<float>(
+      h, IndexWidth::Idx32, std::span<double>(x32.data(), x32.size()));
+  EXPECT_TRUE(r16.converged);
+  EXPECT_LT(r16.relative_residual, 1e-9);
+  EXPECT_EQ(r16.iterations, r32.iterations);
+  EXPECT_EQ(r16.relative_residual, r32.relative_residual);
+  ASSERT_EQ(r16.history.size(), r32.history.size());
+  for (std::size_t i = 0; i < r16.history.size(); ++i) {
+    EXPECT_EQ(r16.history[i], r32.history[i]) << "outer step " << i;
+  }
+  expect_bitwise_equal(std::span<const double>(x16.data(), x16.size()),
+                       std::span<const double>(x32.data(), x32.size()));
+}
+
+TEST(Idx16Solve, Bf16GmresIrConvergesUnderIdx16) {
+  BenchParams params;
+  const ProblemHierarchy h = make_hierarchy(16, params);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  const SolveResult r = solve_ir_idx<bf16_t>(
+      h, IndexWidth::Idx16, std::span<double>(x.data(), x.size()));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.relative_residual, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpgmx

@@ -9,10 +9,17 @@
 // (b) measured single-rank iteration profiles projected through the
 // Frontier machine model over the paper's node counts.
 //
+// Real MPI ranks: build with -DHPGMX_WITH_MPI=ON and run
+//   $ HPGMX_COMM=mpi mpirun -np 4 ./exp_fig4_weak_scaling --json
+// Each process hosts one rank; the measurement section runs per process on
+// a Self world, the scaling run spans the whole mpirun world, and only
+// world rank 0 prints.
+//
 //   $ ./exp_fig4_weak_scaling [--json]   # --json: machine-readable report
 #include <cmath>
 #include <vector>
 
+#include "comm/comm_world.hpp"
 #include "comm/thread_comm.hpp"
 #include "exhibit_common.hpp"
 
@@ -22,7 +29,12 @@ int main(int argc, char** argv) {
   const bool json = has_flag(argc, argv, "--json");
   ExhibitConfig cfg = ExhibitConfig::from_env(/*n=*/32, /*ranks=*/1,
                                               /*seconds=*/1.0);
-  if (!json) {
+  const bool mpi = cfg.params.comm_backend == CommBackend::Mpi;
+  // Under mpirun every process executes this whole program: the single-rank
+  // profile measurements run per process on a Self world, and everything
+  // below stays silent except on world rank 0.
+  const bool root = !mpi || mpi_world_rank() == 0;
+  if (root && !json) {
     banner("EXP fig4 weak-scaling (paper Fig. 4)",
            "present: ~flat to 1024 nodes, 78% efficiency at 9408 nodes "
            "(17.23 PF total); xsdk: ~5-7x lower, flat");
@@ -37,12 +49,15 @@ int main(int argc, char** argv) {
   {
     BenchParams p = cfg.params;
     p.opt = OptLevel::Optimized;
+    if (mpi) {
+      p.comm_backend = CommBackend::Self;
+    }
     BenchmarkDriver driver(p, 1);
     const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
     prof_present = iteration_profile_from_phase(mxp, p, 1, opt_overlap);
     flops_per_iter = prof_present.flops;
     present_ms_per_iter = prof_present.local_seconds * 1e3;
-    if (!json) {
+    if (root && !json) {
       std::printf("measured optimized mxp: %.3f ms/iter, %.1f MFLOP/iter\n",
                   present_ms_per_iter, flops_per_iter * 1e-6);
     }
@@ -50,23 +65,38 @@ int main(int argc, char** argv) {
   {
     BenchParams p = cfg.params;
     p.opt = OptLevel::Reference;
+    if (mpi) {
+      p.comm_backend = CommBackend::Self;
+    }
     BenchmarkDriver driver(p, 1);
     const PhaseResult mxp = driver.run_phase(/*mixed=*/true);
     prof_xsdk = iteration_profile_from_phase(mxp, p, 1, /*overlap=*/0.0);
     xsdk_ms_per_iter = prof_xsdk.local_seconds * 1e3;
-    if (!json) {
+    if (root && !json) {
       std::printf("measured reference mxp: %.3f ms/iter (xsdk path)\n\n",
                   xsdk_ms_per_iter);
     }
   }
 
-  // --- (a) real multi-rank runs on this host ------------------------------
-  if (!json) {
-    std::printf("real virtual-rank runs (time-shared on this host; per-rank\n"
-                "throughput divides by P — read the *shape*, not the level):\n");
+  // --- (a) real multi-rank runs ------------------------------------------
+  // Thread backend: time-shared virtual ranks at 1..8. Mpi backend: the
+  // mpirun world is one fixed size, so there is exactly one (real,
+  // process-parallel) point — sweep node counts by sweeping -np.
+  if (root && !json) {
+    if (mpi) {
+      std::printf("real MPI-rank run (one process per rank):\n");
+    } else {
+      std::printf("real virtual-rank runs (time-shared on this host; per-rank\n"
+                  "throughput divides by P — read the *shape*, not the level):\n");
+    }
     std::printf("%8s %14s %14s\n", "ranks", "GF/s total", "GF/s per rank");
   }
-  std::vector<int> real_ranks{1, 2, 4, 8};
+  std::vector<int> real_ranks;
+  if (mpi) {
+    real_ranks.push_back(mpi_world_size());
+  } else {
+    real_ranks = {1, 2, 4, 8};
+  }
   std::vector<double> real_gflops;
   for (const int p : real_ranks) {
     BenchParams bp = cfg.params;
@@ -74,10 +104,14 @@ int main(int argc, char** argv) {
     BenchmarkDriver driver(bp, p);
     const PhaseResult mxp = driver.run_phase(true);
     real_gflops.push_back(mxp.raw_gflops);
-    if (!json) {
+    if (root && !json) {
       std::printf("%8d %14.3f %14.3f\n", p, mxp.raw_gflops,
                   mxp.raw_gflops / p);
     }
+  }
+
+  if (!root) {
+    return 0;  // the report below is world rank 0's job
   }
 
   // --- (b) machine-model projection over the paper's scale ---------------

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
   opts.tol = 1e-9;
   opts.track_history = true;
   opts.fused_passes = params.fused;
+  // HPGMX_BATCH_REDUCE=0 falls back to one allreduce per scalar (same bits,
+  // more messages); HPGMX_OVERLAP=0 disables split-phase halo exchange.
+  opts.batched_reductions = params.batched_reduce;
 
   const std::span<const double> b(hierarchy.levels[0].b.data(),
                                   hierarchy.levels[0].b.size());
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
                              hierarchy.structures[0].get(), params.opt,
                              /*tag=*/90, /*value_scale=*/1.0,
                              params.index_width);
+    a_d.set_overlap(params.overlap);
     GmresIr<TLow> gmres_ir(&a_d, &mg_low.level_op(0), &mg_low, opts);
     gmres_ir.set_scale_guard(&guard);
     return gmres_ir.solve(comm, b, std::span<double>(x_ir.data(), x_ir.size()));

@@ -1,0 +1,126 @@
+#include "comm/comm_world.hpp"
+
+#include "comm/thread_comm.hpp"
+
+#ifdef HPGMX_WITH_MPI
+#include "comm/mpi_comm.hpp"
+#endif
+
+namespace hpgmx {
+
+namespace {
+
+class SelfWorld final : public CommWorld {
+ public:
+  [[nodiscard]] CommBackend backend() const override {
+    return CommBackend::Self;
+  }
+  [[nodiscard]] int size() const override { return 1; }
+  [[nodiscard]] int local_count() const override { return 1; }
+  [[nodiscard]] int local_rank(int slot) const override {
+    HPGMX_CHECK(slot == 0);
+    return 0;
+  }
+  [[nodiscard]] int slot_of(int global_rank) const override {
+    HPGMX_CHECK(global_rank == 0);
+    return 0;
+  }
+  void execute(const std::function<void(Comm&)>& fn) override {
+    SelfComm comm;
+    fn(comm);
+  }
+};
+
+class ThreadWorld final : public CommWorld {
+ public:
+  explicit ThreadWorld(int ranks) : ranks_(ranks) {}
+  [[nodiscard]] CommBackend backend() const override {
+    return CommBackend::Thread;
+  }
+  [[nodiscard]] int size() const override { return ranks_; }
+  [[nodiscard]] int local_count() const override { return ranks_; }
+  [[nodiscard]] int local_rank(int slot) const override { return slot; }
+  [[nodiscard]] int slot_of(int global_rank) const override {
+    return global_rank;
+  }
+  void execute(const std::function<void(Comm&)>& fn) override {
+    ThreadCommWorld::execute(ranks_, fn);
+  }
+
+ private:
+  int ranks_;
+};
+
+#ifdef HPGMX_WITH_MPI
+class MpiWorld final : public CommWorld {
+ public:
+  MpiWorld() : rank_(mpi_world_rank()), size_(mpi_world_size()) {}
+  [[nodiscard]] CommBackend backend() const override {
+    return CommBackend::Mpi;
+  }
+  [[nodiscard]] int size() const override { return size_; }
+  [[nodiscard]] int local_count() const override { return 1; }
+  [[nodiscard]] int local_rank(int slot) const override {
+    HPGMX_CHECK(slot == 0);
+    return rank_;
+  }
+  [[nodiscard]] int slot_of(int global_rank) const override {
+    HPGMX_CHECK_MSG(global_rank == rank_,
+                    "rank " << global_rank
+                            << " is not hosted by this process (rank " << rank_
+                            << ")");
+    return 0;
+  }
+  void execute(const std::function<void(Comm&)>& fn) override {
+    MpiComm comm;
+    fn(comm);
+  }
+
+ private:
+  int rank_;
+  int size_;
+};
+#endif  // HPGMX_WITH_MPI
+
+}  // namespace
+
+std::unique_ptr<CommWorld> make_comm_world(CommBackend backend, int ranks) {
+  HPGMX_CHECK(ranks >= 1);
+  switch (backend) {
+    case CommBackend::Self:
+      HPGMX_CHECK_MSG(ranks == 1,
+                      "HPGMX_COMM=self hosts exactly 1 rank, not " << ranks
+                          << " — use the thread or mpi backend");
+      return std::make_unique<SelfWorld>();
+    case CommBackend::Thread:
+      return std::make_unique<ThreadWorld>(ranks);
+    case CommBackend::Mpi:
+#ifdef HPGMX_WITH_MPI
+    {
+      auto world = std::make_unique<MpiWorld>();
+      HPGMX_CHECK_MSG(world->size() == ranks,
+                      "HPGMX_COMM=mpi world has " << world->size()
+                          << " rank(s) but " << ranks
+                          << " were requested — launch with mpirun -np "
+                          << ranks << " (callers should size the run from "
+                             "mpi_world_size())");
+      return world;
+    }
+#else
+      HPGMX_CHECK_MSG(false,
+                      "HPGMX_COMM=mpi requires a build with "
+                      "-DHPGMX_WITH_MPI=ON (this binary was built without "
+                      "MPI support)");
+#endif
+  }
+  HPGMX_CHECK_MSG(false, "unknown comm backend");
+  return nullptr;
+}
+
+#ifndef HPGMX_WITH_MPI
+bool mpi_compiled() { return false; }
+int mpi_world_size() { return 1; }
+int mpi_world_rank() { return 0; }
+#endif
+
+}  // namespace hpgmx

@@ -1,0 +1,89 @@
+// Pluggable SPMD backends behind one launch interface.
+//
+// A CommWorld owns "where the ranks live" — in this process (SelfComm,
+// ThreadComm) or across processes (MpiComm under mpirun) — and launches SPMD
+// regions on them, so the benchmark driver is written once against
+// execute(fn) instead of hard-wiring ThreadCommWorld. The split matters for
+// MPI: there each process hosts exactly ONE rank, so per-rank host-side
+// state must be indexed by local slot (slot_of) rather than by global rank.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+/// Which communicator implementation an SPMD region runs on (HPGMX_COMM).
+enum class CommBackend {
+  Self,    ///< one rank, no threads (serial runs, unit tests)
+  Thread,  ///< P virtual ranks on std::threads in one process (default)
+  Mpi,     ///< real MPI ranks under mpirun (requires HPGMX_WITH_MPI=ON)
+};
+
+[[nodiscard]] constexpr const char* comm_backend_name(CommBackend b) {
+  switch (b) {
+    case CommBackend::Self: return "self";
+    case CommBackend::Thread: return "thread";
+    case CommBackend::Mpi: return "mpi";
+  }
+  return "?";
+}
+
+/// Parse the HPGMX_COMM tokens: "self" | "thread" | "mpi".
+[[nodiscard]] inline std::optional<CommBackend> parse_comm_backend(
+    std::string_view s) {
+  if (s == "self") {
+    return CommBackend::Self;
+  }
+  if (s == "thread" || s == "threads") {
+    return CommBackend::Thread;
+  }
+  if (s == "mpi") {
+    return CommBackend::Mpi;
+  }
+  return std::nullopt;
+}
+
+/// A fixed-size SPMD world: launches fn(comm) on every rank and says which
+/// of those ranks live in this process (the "local slots").
+class CommWorld {
+ public:
+  virtual ~CommWorld() = default;
+
+  [[nodiscard]] virtual CommBackend backend() const = 0;
+  /// Global rank count of the SPMD region.
+  [[nodiscard]] virtual int size() const = 0;
+  /// Ranks hosted by this process: size() for the in-process backends, 1
+  /// under MPI.
+  [[nodiscard]] virtual int local_count() const = 0;
+  /// Global rank of local slot `slot` (0 <= slot < local_count()).
+  [[nodiscard]] virtual int local_rank(int slot) const = 0;
+  /// Local slot of a global rank hosted here; callers inside execute() use
+  /// slot_of(comm.rank()) to index per-rank host arrays.
+  [[nodiscard]] virtual int slot_of(int global_rank) const = 0;
+
+  /// Run fn on every rank of the world; returns when the local ranks have
+  /// finished (all ranks, for the in-process backends). Rank exceptions
+  /// propagate in rank order.
+  virtual void execute(const std::function<void(Comm&)>& fn) = 0;
+};
+
+/// Build a world of `ranks` global ranks on the given backend. Self requires
+/// ranks == 1; Mpi requires the binary to run under mpirun with exactly
+/// `ranks` processes (and HPGMX_WITH_MPI=ON at build time — a clear error is
+/// thrown otherwise).
+[[nodiscard]] std::unique_ptr<CommWorld> make_comm_world(CommBackend backend,
+                                                         int ranks);
+
+/// True when the binary was compiled with HPGMX_WITH_MPI=ON.
+[[nodiscard]] bool mpi_compiled();
+/// MPI_COMM_WORLD size/rank, initializing MPI on first use. Without MPI
+/// compiled in (or outside mpirun) these report a 1-rank world.
+[[nodiscard]] int mpi_world_size();
+[[nodiscard]] int mpi_world_rank();
+
+}  // namespace hpgmx

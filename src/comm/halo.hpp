@@ -100,16 +100,28 @@ class HaloExchange {
     const double t_pack1 = epoch_seconds();
     sink->record(comm.rank(), "halo", "pack", t_pack0, t_pack1);
 
+    // Post every receive before any send. A blocking send-first ordering
+    // deadlocks on rendezvous-protocol backends (MPI beyond the eager-size
+    // threshold: both sides would sit in send with no receive posted);
+    // receives-first with nonblocking sends is the portable schedule. The
+    // in-process backends complete sends eagerly, so for them this is just
+    // a reordering of the identical transfers.
     recv_requests_.clear();
     recv_requests_.reserve(pattern_->neighbors.size());
     for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
       const HaloNeighbor& nb = pattern_->neighbors[n];
-      comm.send(nb.rank, tag_, std::span<const T>(send_buffers_[n]));
       T* recv_ptr =
           x.data() + pattern_->n_owned + static_cast<std::size_t>(nb.recv_offset);
       recv_requests_.push_back(comm.irecv(
           nb.rank, tag_,
           std::span<T>(recv_ptr, static_cast<std::size_t>(nb.recv_count))));
+    }
+    send_requests_.clear();
+    send_requests_.reserve(pattern_->neighbors.size());
+    for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
+      const HaloNeighbor& nb = pattern_->neighbors[n];
+      send_requests_.push_back(
+          comm.isend(nb.rank, tag_, std::span<const T>(send_buffers_[n])));
     }
     const double t_post1 = epoch_seconds();
     sink->record(comm.rank(), "halo", "post", t_pack1, t_post1);
@@ -128,10 +140,20 @@ class HaloExchange {
       req.wait();
     }
     recv_requests_.clear();
+    // Sends must also complete before the epoch closes: the next begin()
+    // repacks send_buffers_, which a still-in-flight MPI isend may be
+    // reading from.
+    for (auto& req : send_requests_) {
+      req.wait();
+    }
+    send_requests_.clear();
     in_flight_ = false;
     const double t1 = epoch_seconds();
     sink->record(comm.rank(), "halo", "wait", t0, t1);
   }
+
+  /// True between begin() and finish() — the epoch guard tests probe this.
+  [[nodiscard]] bool in_flight() const { return in_flight_; }
 
   /// Bytes moved over the (virtual) network by one exchange, both directions.
   [[nodiscard]] std::size_t bytes_per_exchange() const {
@@ -149,6 +171,7 @@ class HaloExchange {
   int tag_;
   std::vector<AlignedVector<T>> send_buffers_;
   std::vector<Request> recv_requests_;
+  std::vector<Request> send_requests_;
   bool in_flight_ = false;
   double t_begin_done_ = 0.0;
 };

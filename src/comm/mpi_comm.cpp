@@ -1,0 +1,170 @@
+// MpiComm implementation plus the MPI half of comm_world.hpp's free
+// functions (mpi_compiled / mpi_world_*); their no-MPI stubs live in
+// comm_world.cpp behind the inverse #ifdef.
+#include "comm/mpi_comm.hpp"
+
+#ifdef HPGMX_WITH_MPI
+
+#include <mpi.h>
+
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "comm/comm_world.hpp"
+
+namespace hpgmx {
+
+namespace {
+
+void check_mpi(int err, const char* what) {
+  HPGMX_CHECK_MSG(err == MPI_SUCCESS,
+                  "MPI error " << err << " from " << what);
+}
+
+[[nodiscard]] int as_count(std::size_t bytes, const char* what) {
+  HPGMX_CHECK_MSG(bytes <= static_cast<std::size_t>(INT_MAX),
+                  what << ": message of " << bytes
+                       << " bytes exceeds the MPI int count range");
+  return static_cast<int>(bytes);
+}
+
+/// MPI is initialized lazily on first comm use and finalized at process
+/// exit, so binaries that never select the MPI backend (the default) pay
+/// nothing even when built with HPGMX_WITH_MPI=ON.
+void mpi_init_once() {
+  int initialized = 0;
+  check_mpi(MPI_Initialized(&initialized), "MPI_Initialized");
+  if (initialized != 0) {
+    return;
+  }
+  int provided = 0;
+  // FUNNELED: only the thread that initialized MPI makes MPI calls. The
+  // SPMD body runs on the main thread (MpiWorld::execute calls fn inline);
+  // OpenMP worker threads never touch the communicator.
+  check_mpi(MPI_Init_thread(nullptr, nullptr, MPI_THREAD_FUNNELED, &provided),
+            "MPI_Init_thread");
+  std::atexit([] {
+    int finalized = 0;
+    MPI_Finalized(&finalized);
+    if (finalized == 0) {
+      MPI_Finalize();
+    }
+  });
+}
+
+class MpiRequestState final : public Request::State {
+ public:
+  explicit MpiRequestState(MPI_Request req) : req_(req) {}
+  void wait() override {
+    if (req_ != MPI_REQUEST_NULL) {
+      check_mpi(MPI_Wait(&req_, MPI_STATUS_IGNORE), "MPI_Wait");
+    }
+  }
+
+ private:
+  MPI_Request req_ = MPI_REQUEST_NULL;
+};
+
+}  // namespace
+
+bool mpi_compiled() { return true; }
+
+int mpi_world_size() {
+  mpi_init_once();
+  int size = 1;
+  check_mpi(MPI_Comm_size(MPI_COMM_WORLD, &size), "MPI_Comm_size");
+  return size;
+}
+
+int mpi_world_rank() {
+  mpi_init_once();
+  int rank = 0;
+  check_mpi(MPI_Comm_rank(MPI_COMM_WORLD, &rank), "MPI_Comm_rank");
+  return rank;
+}
+
+MpiComm::MpiComm() {
+  mpi_init_once();
+  check_mpi(MPI_Comm_rank(MPI_COMM_WORLD, &rank_), "MPI_Comm_rank");
+  check_mpi(MPI_Comm_size(MPI_COMM_WORLD, &size_), "MPI_Comm_size");
+}
+
+void MpiComm::send_bytes(int dst, int tag, const void* data,
+                         std::size_t bytes) {
+  check_mpi(MPI_Send(data, as_count(bytes, "send"), MPI_BYTE, dst, tag,
+                     MPI_COMM_WORLD),
+            "MPI_Send");
+}
+
+void MpiComm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  check_mpi(MPI_Recv(data, as_count(bytes, "recv"), MPI_BYTE, src, tag,
+                     MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+            "MPI_Recv");
+}
+
+Request MpiComm::isend_bytes(int dst, int tag, const void* data,
+                             std::size_t bytes) {
+  MPI_Request req = MPI_REQUEST_NULL;
+  check_mpi(MPI_Isend(data, as_count(bytes, "isend"), MPI_BYTE, dst, tag,
+                      MPI_COMM_WORLD, &req),
+            "MPI_Isend");
+  return Request(std::make_shared<MpiRequestState>(req));
+}
+
+Request MpiComm::irecv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  MPI_Request req = MPI_REQUEST_NULL;
+  check_mpi(MPI_Irecv(data, as_count(bytes, "irecv"), MPI_BYTE, src, tag,
+                      MPI_COMM_WORLD, &req),
+            "MPI_Irecv");
+  return Request(std::make_shared<MpiRequestState>(req));
+}
+
+void MpiComm::barrier() {
+  check_mpi(MPI_Barrier(MPI_COMM_WORLD), "MPI_Barrier");
+}
+
+void MpiComm::allreduce_bytes(const void* in, void* out, std::size_t n,
+                              const detail::TypeOps& ops, ReduceOp op) {
+  // Gather to rank 0, combine in rank order through the registered type
+  // descriptor, broadcast the result. MPI_Allreduce would be faster but its
+  // combine order is unspecified, which breaks the bit-reproducibility
+  // contract the in-process backends honor (and MPI has no built-in bf16/
+  // fp16 types anyway — this path reduces any registered 2-byte format).
+  const std::size_t bytes = n * ops.size;
+  const int count = as_count(bytes, "allreduce");
+  if (rank_ == 0) {
+    gather_buf_.resize(bytes * static_cast<std::size_t>(size_));
+  }
+  check_mpi(MPI_Gather(in, count, MPI_BYTE, gather_buf_.data(), count,
+                       MPI_BYTE, 0, MPI_COMM_WORLD),
+            "MPI_Gather");
+  if (rank_ == 0) {
+    std::memcpy(out, gather_buf_.data(), bytes);
+    for (int r = 1; r < size_; ++r) {
+      ops.reduce(out, gather_buf_.data() + static_cast<std::size_t>(r) * bytes,
+                 n, op);
+    }
+  }
+  check_mpi(MPI_Bcast(out, count, MPI_BYTE, 0, MPI_COMM_WORLD), "MPI_Bcast");
+}
+
+void MpiComm::allgather_bytes(const void* in, void* out, std::size_t n,
+                              const detail::TypeOps& ops) {
+  const int count = as_count(n * ops.size, "allgather");
+  check_mpi(MPI_Allgather(in, count, MPI_BYTE, out, count, MPI_BYTE,
+                          MPI_COMM_WORLD),
+            "MPI_Allgather");
+}
+
+void MpiComm::bcast_bytes(void* data, std::size_t n, const detail::TypeOps& ops,
+                          int root) {
+  check_mpi(MPI_Bcast(data, as_count(n * ops.size, "bcast"), MPI_BYTE, root,
+                      MPI_COMM_WORLD),
+            "MPI_Bcast");
+}
+
+}  // namespace hpgmx
+
+#endif  // HPGMX_WITH_MPI

@@ -1,11 +1,12 @@
 #include "core/benchmark.hpp"
 
 #include <algorithm>
+#include <array>
 #include <iomanip>
 #include <sstream>
 
 #include "base/timer.hpp"
-#include "comm/thread_comm.hpp"
+#include "comm/comm_world.hpp"
 #include "grid/process_grid.hpp"
 
 namespace hpgmx {
@@ -49,40 +50,44 @@ std::string BenchReport::to_string() const {
 BenchmarkDriver::BenchmarkDriver(BenchParams params, int num_ranks)
     : params_(params), num_ranks_(num_ranks) {
   HPGMX_CHECK(num_ranks >= 1);
-  hierarchy_ = build_hierarchies(num_ranks_);
+  world_ = make_comm_world(params_.comm_backend, num_ranks_);
+  hierarchy_ = build_hierarchies(*world_);
 }
 
 BenchmarkDriver::~BenchmarkDriver() = default;
 
 std::vector<ProblemHierarchy> BenchmarkDriver::build_hierarchies(
-    int ranks) const {
-  const ProcessGrid pgrid = ProcessGrid::create(ranks);
-  std::vector<ProblemHierarchy> out(static_cast<std::size_t>(ranks));
+    const CommWorld& world) const {
+  const ProcessGrid pgrid = ProcessGrid::create(world.size());
+  std::vector<ProblemHierarchy> out(
+      static_cast<std::size_t>(world.local_count()));
   ProblemParams pp;
   pp.nx = params_.nx;
   pp.ny = params_.ny;
   pp.nz = params_.nz;
   pp.gamma = params_.gamma;
-  // Generation is pure per-rank work; build serially (rank threads would
-  // contend for the same cores anyway).
-  for (int r = 0; r < ranks; ++r) {
-    out[static_cast<std::size_t>(r)] =
-        build_hierarchy(generate_problem(pgrid, r, pp), params_.mg_levels,
-                        params_.coloring_seed);
+  // Generation is pure per-rank work, built only for the ranks this process
+  // hosts (all of them in-process, one under MPI); build serially (rank
+  // threads would contend for the same cores anyway).
+  for (int s = 0; s < world.local_count(); ++s) {
+    out[static_cast<std::size_t>(s)] =
+        build_hierarchy(generate_problem(pgrid, world.local_rank(s), pp),
+                        params_.mg_levels, params_.coloring_seed);
   }
   return out;
 }
 
-const std::vector<ProblemHierarchy>& BenchmarkDriver::hierarchies_for(
-    int ranks) {
+std::pair<CommWorld*, const std::vector<ProblemHierarchy>*>
+BenchmarkDriver::context_for(int ranks) {
   if (ranks == num_ranks_) {
-    return hierarchy_;
+    return {world_.get(), &hierarchy_};
   }
   if (validation_ranks_ != ranks) {
-    validation_hierarchy_ = build_hierarchies(ranks);
+    validation_world_ = make_comm_world(CommBackend::Thread, ranks);
+    validation_hierarchy_ = build_hierarchies(*validation_world_);
     validation_ranks_ = ranks;
   }
-  return validation_hierarchy_;
+  return {validation_world_.get(), &validation_hierarchy_};
 }
 
 ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
@@ -91,29 +96,41 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
   v.ranks = (mode == ValidationMode::Standard)
                 ? std::min(params_.validation_ranks, num_ranks_)
                 : num_ranks_;
-  const auto& hier = hierarchies_for(v.ranks);
+  if (params_.comm_backend == CommBackend::Mpi) {
+    // An mpirun launch cannot idle a subset of its processes outside the
+    // SPMD region (they would hang in the collectives), so MPI validation
+    // always runs on the full world.
+    v.ranks = num_ranks_;
+  }
+  auto [world, hier_ptr] = context_for(v.ranks);
+  const auto& hier = *hier_ptr;
 
   SolverOptions val_opts;
   val_opts.restart = params_.restart_length;
   val_opts.max_iters = params_.validation_max_iters;
   val_opts.tol = params_.validation_tol;
   val_opts.fused_passes = params_.fused;
+  val_opts.batched_reductions = params_.batched_reduce;
 
   // Pass 1: double-precision GMRES from a zero guess. The result depends
   // only on the problem and rank count (not on inner_precision), so it is
   // cached across the run_validation calls of a precision sweep.
   if (validation_double_ranks_ != v.ranks) {
-    std::vector<SolveResult> d_results(static_cast<std::size_t>(v.ranks));
-    ThreadCommWorld::execute(v.ranks, [&](Comm& comm) {
-      const auto& h = hier[static_cast<std::size_t>(comm.rank())];
+    std::vector<SolveResult> d_results(
+        static_cast<std::size_t>(world->local_count()));
+    world->execute([&](Comm& comm) {
+      const auto slot = static_cast<std::size_t>(world->slot_of(comm.rank()));
+      const auto& h = hier[slot];
       Multigrid<double> mg(h, params_);
       Gmres<double> solver(&mg.level_op(0), &mg, val_opts);
       AlignedVector<double> x(h.levels[0].b.size(), 0.0);
-      d_results[static_cast<std::size_t>(comm.rank())] = solver.solve(
+      d_results[slot] = solver.solve(
           comm,
           std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
           std::span<double>(x.data(), x.size()));
     });
+    // Iteration counts and convergence are rank-uniform (every decision is
+    // allreduce-derived), so the first local slot speaks for the world.
     validation_double_result_ = d_results[0];
     validation_double_ranks_ = v.ranks;
   }
@@ -139,11 +156,13 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
     // can be measured even when mixed precision converges slower.
     ir_opts.max_iters = std::max(params_.validation_max_iters, 4 * v.n_d);
   }
-  std::vector<SolveResult> ir_results(static_cast<std::size_t>(v.ranks));
+  std::vector<SolveResult> ir_results(
+      static_cast<std::size_t>(world->local_count()));
   dispatch_precision(params_.inner_precision, [&](auto tag) {
     using TLow = typename decltype(tag)::type;
-    ThreadCommWorld::execute(v.ranks, [&](Comm& comm) {
-      const auto& h = hier[static_cast<std::size_t>(comm.rank())];
+    world->execute([&](Comm& comm) {
+      const auto slot = static_cast<std::size_t>(world->slot_of(comm.rank()));
+      const auto& h = hier[slot];
       ScaleGuard guard;
       // Global per-level maxima so every rank demotes with the same
       // power-of-two scales (both the guard's α and the schedule's
@@ -166,10 +185,11 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
       DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(),
                                params_.opt, /*tag=*/90, /*value_scale=*/1.0,
                                params_.index_width);
+      a_d.set_overlap(params_.overlap);
       GmresIr<TLow> solver(&a_d, &mg_low.level_op(0), &mg_low, ir_opts);
       solver.set_scale_guard(&guard);
       AlignedVector<double> x(h.levels[0].b.size(), 0.0);
-      ir_results[static_cast<std::size_t>(comm.rank())] = solver.solve(
+      ir_results[slot] = solver.solve(
           comm,
           std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
           std::span<double>(x.data(), x.size()));
@@ -194,23 +214,26 @@ PhaseResult BenchmarkDriver::run_phase_impl(bool mixed) {
   PhaseResult phase;
   phase.label = mixed ? "mxp" : "double";
   const auto& hier = hierarchy_;
+  CommWorld& world = *world_;
+  const auto local = static_cast<std::size_t>(world.local_count());
 
   SolverOptions opts;
   opts.restart = params_.restart_length;
   opts.max_iters = params_.max_iters_per_solve;
   opts.tol = 0.0;  // benchmark phases run a fixed iteration count
   opts.fused_passes = params_.fused;
+  opts.batched_reductions = params_.batched_reduce;
 
-  std::vector<MotifStats> rank_stats(static_cast<std::size_t>(num_ranks_));
-  std::vector<double> rank_wall(static_cast<std::size_t>(num_ranks_), 0.0);
-  std::vector<double> rank_relres(static_cast<std::size_t>(num_ranks_), 0.0);
-  std::vector<int> rank_iters(static_cast<std::size_t>(num_ranks_), 0);
-  std::vector<int> rank_solves(static_cast<std::size_t>(num_ranks_), 0);
+  std::vector<MotifStats> rank_stats(local);
+  std::vector<double> rank_wall(local, 0.0);
+  std::vector<double> rank_relres(local, 0.0);
+  std::vector<int> rank_iters(local, 0);
+  std::vector<int> rank_solves(local, 0);
 
-  ThreadCommWorld::execute(num_ranks_, [&](Comm& comm) {
-    const int rank = comm.rank();
-    const auto& h = hier[static_cast<std::size_t>(rank)];
-    MotifStats& stats = rank_stats[static_cast<std::size_t>(rank)];
+  world.execute([&](Comm& comm) {
+    const auto slot = static_cast<std::size_t>(world.slot_of(comm.rank()));
+    const auto& h = hier[slot];
+    MotifStats& stats = rank_stats[slot];
 
     // Setup outside the timed region, as in the benchmark.
     std::unique_ptr<Multigrid<double>> mg_d;
@@ -238,6 +261,7 @@ PhaseResult BenchmarkDriver::run_phase_impl(bool mixed) {
       a_d = std::make_unique<DistOperator<double>>(
           h.levels[0].a, h.structures[0].get(), params_.opt, /*tag=*/90,
           /*value_scale=*/1.0, params_.index_width);
+      a_d->set_overlap(params_.overlap);
       gmres_ir = std::make_unique<GmresIr<TLow>>(a_d.get(),
                                                  &mg_low->level_op(0),
                                                  mg_low.get(), opts);
@@ -264,22 +288,49 @@ PhaseResult BenchmarkDriver::run_phase_impl(bool mixed) {
       } else {
         res = gmres_d->solve(comm, b, std::span<double>(x.data(), x.size()));
       }
-      rank_iters[static_cast<std::size_t>(rank)] += res.iterations;
-      rank_solves[static_cast<std::size_t>(rank)] += 1;
-      rank_relres[static_cast<std::size_t>(rank)] = res.relative_residual;
+      rank_iters[slot] += res.iterations;
+      rank_solves[slot] += 1;
+      rank_relres[slot] = res.relative_residual;
       // All ranks must agree to stop: reduce the max elapsed time.
       const double elapsed =
           comm.allreduce_scalar(timer.seconds(), ReduceOp::Max);
       out_of_time = elapsed >= params_.bench_seconds;
     }
-    rank_wall[static_cast<std::size_t>(rank)] = timer.seconds();
+    // Aggregate across the whole world *inside* the SPMD region, so the
+    // report is identical whether the ranks were threads or mpirun
+    // processes: per-motif seconds and FLOPs sum elementwise (the same
+    // arithmetic, in the same rank order, as the host-side merge the
+    // in-process driver used to do), wall time takes the max.
+    std::array<double, kNumMotifs> sec_local{};
+    std::array<double, kNumMotifs> sec_global{};
+    std::array<flop_count_t, kNumMotifs> fl_local{};
+    std::array<flop_count_t, kNumMotifs> fl_global{};
+    for (int m = 0; m < kNumMotifs; ++m) {
+      sec_local[static_cast<std::size_t>(m)] =
+          stats.seconds(static_cast<Motif>(m));
+      fl_local[static_cast<std::size_t>(m)] =
+          stats.flops(static_cast<Motif>(m));
+    }
+    comm.allreduce(std::span<const double>(sec_local.data(), sec_local.size()),
+                   std::span<double>(sec_global.data(), sec_global.size()),
+                   ReduceOp::Sum);
+    comm.allreduce(
+        std::span<const flop_count_t>(fl_local.data(), fl_local.size()),
+        std::span<flop_count_t>(fl_global.data(), fl_global.size()),
+        ReduceOp::Sum);
+    stats.reset();
+    for (int m = 0; m < kNumMotifs; ++m) {
+      stats.add(static_cast<Motif>(m), sec_global[static_cast<std::size_t>(m)],
+                fl_global[static_cast<std::size_t>(m)]);
+    }
+    rank_wall[slot] = comm.allreduce_scalar(timer.seconds(), ReduceOp::Max);
   });
 
-  for (int r = 0; r < num_ranks_; ++r) {
-    phase.stats.merge(rank_stats[static_cast<std::size_t>(r)]);
-    phase.wall_seconds =
-        std::max(phase.wall_seconds, rank_wall[static_cast<std::size_t>(r)]);
-  }
+  // Every local slot now holds identical world-reduced values; the first
+  // speaks for the run (iterations/solves/relres are rank-uniform already —
+  // every stopping decision above is allreduce-derived).
+  phase.stats = rank_stats[0];
+  phase.wall_seconds = rank_wall[0];
   phase.iterations = rank_iters[0];
   phase.solves = rank_solves[0];
   phase.final_relres = rank_relres[0];

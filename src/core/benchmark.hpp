@@ -10,15 +10,20 @@
 //                    GFLOP/s collected from the motif model.
 //   3. double      — the same with the all-double GMRES solver.
 //
-// Each phase executes as an SPMD region on a ThreadCommWorld (the repo's
-// MPI substitute); per-rank problems and hierarchies are generated once and
-// shared across phases.
+// Each phase executes as an SPMD region on a pluggable CommWorld
+// (HPGMX_COMM): SelfComm for serial runs, ThreadComm — the historical
+// in-process MPI substitute and still the default — or real MpiComm ranks
+// under mpirun when built with HPGMX_WITH_MPI=ON. Per-rank problems and
+// hierarchies are generated once for the ranks hosted by this process
+// (all of them in-process, exactly one under MPI) and shared across phases.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "comm/comm_world.hpp"
 #include "core/gmres.hpp"
 #include "core/gmres_ir.hpp"
 #include "core/multigrid.hpp"
@@ -84,7 +89,11 @@ struct BenchReport {
 
 class BenchmarkDriver {
  public:
-  /// Builds each rank's problem hierarchy up front (shared by all phases).
+  /// Builds the problem hierarchy of every rank hosted by this process up
+  /// front (shared by all phases). `num_ranks` sizes the SPMD world on the
+  /// in-process backends; on the MPI backend the world size comes from
+  /// mpirun instead (pass mpi_world_size(), which is what the requested
+  /// count is checked against).
   BenchmarkDriver(BenchParams params, int num_ranks);
   ~BenchmarkDriver();
 
@@ -118,14 +127,22 @@ class BenchmarkDriver {
  private:
   BenchParams params_;
   int num_ranks_;
-  /// Per-rank hierarchies for the full-size run and (lazily) for the
-  /// standard-validation rank count when it differs.
+  /// SPMD world of the full-size run (params_.comm_backend), plus the
+  /// locally hosted hierarchies — one per local slot, indexed by
+  /// world_->slot_of(comm.rank()) inside SPMD bodies.
+  std::unique_ptr<CommWorld> world_;
   std::vector<ProblemHierarchy> hierarchy_;
+  /// Lazily built world/hierarchies for the standard-validation rank count
+  /// when it differs (always in-process threads: an mpirun launch cannot
+  /// shrink its process count, so MPI validation runs on the full world).
+  std::unique_ptr<CommWorld> validation_world_;
   std::vector<ProblemHierarchy> validation_hierarchy_;
   int validation_ranks_ = 0;
 
-  std::vector<ProblemHierarchy> build_hierarchies(int ranks) const;
-  const std::vector<ProblemHierarchy>& hierarchies_for(int ranks);
+  std::vector<ProblemHierarchy> build_hierarchies(const CommWorld& world) const;
+  /// World + locally hosted hierarchies to run a `ranks`-wide region on.
+  std::pair<CommWorld*, const std::vector<ProblemHierarchy>*> context_for(
+      int ranks);
   /// Validation's double reference solve depends only on the problem and
   /// rank count, not on inner_precision — cache it so precision sweeps
   /// (several run_validation calls on one driver) run it once per ranks.

@@ -163,6 +163,19 @@ struct MgLevelDims {
   return total;
 }
 
+/// Network bytes one halo exchange moves, both directions: every boundary
+/// entry sent plus every halo entry received, at the exchanged value width.
+/// `send_entries` is HaloPattern::total_send_count(), `recv_entries` is
+/// HaloPattern::n_halo, so the prediction equals
+/// HaloExchange<T>::bytes_per_exchange() exactly — the invariant the
+/// RecordingComm tests pin down for fp64 and the 2-byte formats.
+[[nodiscard]] constexpr double halo_exchange_bytes(std::int64_t send_entries,
+                                                   std::int64_t recv_entries,
+                                                   std::size_t value_bytes) {
+  return static_cast<double>(send_entries + recv_entries) *
+         static_cast<double>(value_bytes);
+}
+
 /// CGS2 step k: four passes over Q[:, :k] plus the vector w.
 template <typename T>
 [[nodiscard]] constexpr double cgs2_bytes(local_index_t n, int k) {

@@ -4,6 +4,7 @@
 // (forward+backward) Gauss–Seidel smoothing, per the HPCG specification.
 #pragma once
 
+#include <array>
 #include <cmath>
 
 #include "base/aligned_vector.hpp"
@@ -28,6 +29,7 @@ class SymmetricMultigrid {
                         hierarchy.structures[static_cast<std::size_t>(l)].get(),
                         params.opt, tag_base + l, /*value_scale=*/1.0,
                         params.index_width);
+      ops_.back().set_overlap(params.overlap);
     }
     r_.resize(static_cast<std::size_t>(nl));
     z_.resize(static_cast<std::size_t>(nl));
@@ -148,19 +150,56 @@ class ConjugateGradient {
     }
     a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
                  std::span<T>(r.data(), r.size()));
-    // ‖r‖² of the initial residual; every later iteration carries it out of
-    // the fused residual-update pass (waxpby_norm) below.
-    double rho2;
+    // ‖r‖² of the initial residual; every later iteration carries the local
+    // partial out of the fused residual-update pass (waxpby_norm) below.
+    // The allreduce itself runs per-scalar, or rides with ⟨r,z⟩ in one
+    // 2-double message on the batched schedule.
+    double rho2_local;
     {
       ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
-      rho2 = comm.allreduce_scalar(
-          dot_span_blocked(std::span<const T>(r.data(), r.size()),
-                           std::span<const T>(r.data(), r.size())),
-          ReduceOp::Sum);
+      rho2_local = dot_span_blocked(std::span<const T>(r.data(), r.size()),
+                                    std::span<const T>(r.data(), r.size()));
     }
+    double rho2 = opts_.batched_reductions
+                      ? 0.0
+                      : comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+
+    const auto apply_m = [&] {
+      if (mg_ != nullptr) {
+        mg_->apply(comm, std::span<const T>(r.data(), r.size()),
+                   std::span<T>(z.data(), z.size()));
+      } else {
+        convert_copy(std::span<const T>(r.data(), r.size()),
+                     std::span<T>(z.data(), z.size()));
+      }
+    };
 
     double rz_old = 0.0;
     while (result.iterations < opts_.max_iters) {
+      double rz = 0.0;
+      if (opts_.batched_reductions) {
+        // z = M r is hoisted above the convergence check so ⟨r,z⟩ can share
+        // one 2-double reduction with ‖r‖² (3 → 2 allreduces/iteration).
+        // The elementwise rank-ordered combine makes each packed entry
+        // bit-identical to its stand-alone reduction, so iterates are
+        // unchanged; the price is one speculative preconditioner
+        // application on the final (converging) iteration.
+        apply_m();
+        double rz_local;
+        {
+          ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+          rz_local = static_cast<double>(
+              dot_local(std::span<const T>(r.data(), r.size()),
+                        std::span<const T>(z.data(), z.size())));
+        }
+        const std::array<double, 2> local{rho2_local, rz_local};
+        std::array<double, 2> global{};
+        comm.allreduce(std::span<const double>(local.data(), local.size()),
+                       std::span<double>(global.data(), global.size()),
+                       ReduceOp::Sum);
+        rho2 = global[0];
+        rz = global[1];
+      }
       const double rho = std::sqrt(rho2);
       result.relative_residual = rho / rho0;
       if (opts_.track_history) {
@@ -170,15 +209,8 @@ class ConjugateGradient {
         result.converged = true;
         break;
       }
-      if (mg_ != nullptr) {
-        mg_->apply(comm, std::span<const T>(r.data(), r.size()),
-                   std::span<T>(z.data(), z.size()));
-      } else {
-        convert_copy(std::span<const T>(r.data(), r.size()),
-                     std::span<T>(z.data(), z.size()));
-      }
-      double rz;
-      {
+      if (!opts_.batched_reductions) {
+        apply_m();
         ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
         rz = dot<double>(comm, std::span<const T>(r.data(), r.size()),
                          std::span<const T>(z.data(), z.size()));
@@ -217,7 +249,6 @@ class ConjugateGradient {
       // r ← r − alpha·Ap fused with the next iteration's ‖r‖² (waxpby_norm):
       // the unfused leg runs the same WAXPBY then the same blocked dot as a
       // separate read sweep.
-      double rho2_local;
       {
         ScopedMotif sm(stats_, Motif::Vector,
                        waxpby_flops(n) + dot_flops(n));
@@ -233,7 +264,9 @@ class ConjugateGradient {
                                std::span<const T>(r.data(), r.size()));
         }
       }
-      rho2 = comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+      if (!opts_.batched_reductions) {
+        rho2 = comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+      }
       ++result.iterations;
     }
 

@@ -97,6 +97,14 @@ class DistOperator {
   void set_stats(MotifStats* stats) { stats_ = stats; }
   void set_event_sink(EventSink* sink) { sink_ = sink; }
 
+  /// Enable/disable compute–communication overlap on the optimized path
+  /// (HPGMX_OVERLAP). Off substitutes a blocking exchange for begin/finish
+  /// and then runs the identical interior and boundary kernels in the
+  /// identical order, so the two settings are bit-identical — the toggle is
+  /// a pure scheduling ablation. The reference path always blocks.
+  void set_overlap(bool overlap) { overlap_ = overlap; }
+  [[nodiscard]] bool overlap() const { return overlap_; }
+
   [[nodiscard]] double value_scale() const { return value_scale_; }
 
   /// Set the demotion scale to the *absolute* value `scale`, re-demoting
@@ -133,13 +141,19 @@ class DistOperator {
       csr_spmv(csr_, std::span<const T>(x.data(), x.size()), y);
       return;
     }
-    halo_exchange_.begin(comm, x, sink_);
+    if (overlap_) {
+      halo_exchange_.begin(comm, x, sink_);
+    } else {
+      halo_exchange_.exchange(comm, x, sink_);
+    }
     const double t0 = epoch_seconds();
     ell_spmv_rows(ell_, std::span<const T>(x.data(), x.size()), y,
                   structure_->interior_rows);
     sink_->record(comm.rank(), "compute", "interior-spmv", t0,
                   epoch_seconds());
-    halo_exchange_.finish(comm, sink_);
+    if (overlap_) {
+      halo_exchange_.finish(comm, sink_);
+    }
     const double t1 = epoch_seconds();
     ell_spmv_rows(ell_, std::span<const T>(x.data(), x.size()), y,
                   structure_->boundary_rows);
@@ -163,14 +177,20 @@ class DistOperator {
       halo_exchange_.exchange(comm, x, sink_);
       local = csr_spmv_dot(csr_, std::span<const T>(x.data(), x.size()), y);
     } else {
-      halo_exchange_.begin(comm, x, sink_);
+      if (overlap_) {
+        halo_exchange_.begin(comm, x, sink_);
+      } else {
+        halo_exchange_.exchange(comm, x, sink_);
+      }
       const double t0 = epoch_seconds();
       const double interior = ell_spmv_rows_dot(
           ell_, std::span<const T>(x.data(), x.size()), y,
           structure_->interior_rows);
       sink_->record(comm.rank(), "compute", "interior-spmv", t0,
                     epoch_seconds());
-      halo_exchange_.finish(comm, sink_);
+      if (overlap_) {
+        halo_exchange_.finish(comm, sink_);
+      }
       const double t1 = epoch_seconds();
       const double boundary = ell_spmv_rows_dot(
           ell_, std::span<const T>(x.data(), x.size()), y,
@@ -219,25 +239,42 @@ class DistOperator {
   /// followed by dot_span_blocked(r, r), minus a full read sweep of r.
   [[nodiscard]] double residual_norm2(Comm& comm, std::span<const T> b,
                                       std::span<T> x, std::span<T> r) {
+    return comm.allreduce_scalar(residual_norm2_local(comm, b, x, r),
+                                 ReduceOp::Sum);
+  }
+
+  /// Local leg of residual_norm2: the same fused sweep (including the halo
+  /// exchange of x) minus the allreduce, for callers that coalesce the
+  /// reduction with other scalars (GmresIr's batched_reductions path packs
+  /// it with the correction-finite vote in one 2-double message).
+  [[nodiscard]] double residual_norm2_local(Comm& comm, std::span<const T> b,
+                                            std::span<T> x, std::span<T> r) {
     ScopedMotif sm(stats_, Motif::SpMV, residual_flops(nnz(), num_owned()));
     if (stats_ != nullptr) {
       stats_->add_flops(Motif::SpMV, dot_flops(num_owned()));
     }
     halo_exchange_.exchange(comm, x, sink_);
-    const double local =
-        csr_residual_norm2(csr_, b, std::span<const T>(x.data(), x.size()), r);
-    return comm.allreduce_scalar(local, ReduceOp::Sum);
+    return csr_residual_norm2(csr_, b, std::span<const T>(x.data(), x.size()),
+                              r);
   }
 
   /// Unfused reference sequence for residual_norm2 (fused_passes=false leg).
   [[nodiscard]] double residual_then_norm2(Comm& comm, std::span<const T> b,
                                            std::span<T> x, std::span<T> r) {
+    return comm.allreduce_scalar(residual_then_norm2_local(comm, b, x, r),
+                                 ReduceOp::Sum);
+  }
+
+  /// Local leg of residual_then_norm2 (see residual_norm2_local).
+  [[nodiscard]] double residual_then_norm2_local(Comm& comm,
+                                                 std::span<const T> b,
+                                                 std::span<T> x,
+                                                 std::span<T> r) {
     residual(comm, b, x, r);
     ScopedMotif sm(stats_, Motif::SpMV, dot_flops(num_owned()));
     const auto n = static_cast<std::size_t>(num_owned());
-    const double local = dot_span_blocked(std::span<const T>(r.data(), n),
-                                          std::span<const T>(r.data(), n));
-    return comm.allreduce_scalar(local, ReduceOp::Sum);
+    return dot_span_blocked(std::span<const T>(r.data(), n),
+                            std::span<const T>(r.data(), n));
   }
 
   /// One forward Gauss–Seidel sweep on A z = r. z is full-length; its halo
@@ -256,11 +293,17 @@ class DistOperator {
                          std::span<T>(scratch_.data(), scratch_.size()));
       return;
     }
-    halo_exchange_.begin(comm, z, sink_);  // packs old z first (the "event")
+    if (overlap_) {
+      halo_exchange_.begin(comm, z, sink_);  // packs old z first (the "event")
+    } else {
+      halo_exchange_.exchange(comm, z, sink_);
+    }
     const double t0 = epoch_seconds();
     gs_sweep_rows_ell(ell_, structure_->colors_interior.group(0), r, z);
     sink_->record(comm.rank(), "compute", "GS-int-c0", t0, epoch_seconds());
-    halo_exchange_.finish(comm, sink_);
+    if (overlap_) {
+      halo_exchange_.finish(comm, sink_);
+    }
     const double t1 = epoch_seconds();
     gs_sweep_rows_ell(ell_, structure_->colors_boundary.group(0), r, z);
     for (int c = 1; c < structure_->colors_interior.num_groups(); ++c) {
@@ -320,6 +363,7 @@ class DistOperator {
   EllMatrix<T> ell_;
   const OperatorStructure* structure_;
   OptLevel opt_;
+  bool overlap_ = true;
   HaloExchange<T> halo_exchange_;
   AlignedVector<T> scratch_;
   MotifStats* stats_ = nullptr;

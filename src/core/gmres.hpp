@@ -28,6 +28,18 @@ struct SolverOptions {
   /// this changes bytes moved but not one bit of the iteration — a property
   /// tests/test_fused.cpp asserts.
   bool fused_passes = true;
+  /// Coalesce independent per-scalar allreduces into one multi-double
+  /// message where a bit-identical pairing exists: CG packs ‖r‖² with
+  /// ⟨r,z⟩ (3 → 2 reductions/iteration), GmresIr packs the next outer ‖r‖²
+  /// with the correction-finite vote (2 → 1 reductions/cycle). The
+  /// elementwise rank-ordered allreduce makes each packed entry
+  /// bit-identical to its stand-alone reduction, so flipping this changes
+  /// message count, never iterates (tests/test_overlap.cpp asserts it).
+  /// CGS2's h1 → h2 → β chain is sequentially dependent — each reduction's
+  /// input needs the previous one's output — so its three reductions per
+  /// Arnoldi step are irreducible; gemv_t already batches each projection's
+  /// k dots into a single message.
+  bool batched_reductions = true;
 };
 
 struct SolveResult {

@@ -18,6 +18,8 @@
 // x += ρ·α·z update is unchanged.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -92,18 +94,32 @@ class GmresIr {
     }
 
     bool aborted = false;
+    // Batched-reduction state: an accepted candidate update below already
+    // carries the next cycle's globally reduced ‖r‖² (and its residual, in
+    // r) out of the coalesced 2-double message, so the loop top skips the
+    // stand-alone recomputation on that cycle.
+    AlignedVector<double> x_next;
+    if (opts_.batched_reductions) {
+      x_next.assign(x_full.size(), 0.0);
+    }
+    double rho2 = 0.0;
+    bool have_rho2 = false;
     while (result.iterations < opts_.max_iters) {
       // -- outer refinement step, REQUIRED double (alg. 3 line 7), with
       //    ‖r‖² folded into the residual sweep (fused) or recomputed in a
       //    second bit-identical pass (unfused) --------------------------
-      const double rho2 =
-          opts_.fused_passes
-              ? a_high_->residual_norm2(
-                    comm, b, std::span<double>(x_full.data(), x_full.size()),
-                    std::span<double>(r.data(), r.size()))
-              : a_high_->residual_then_norm2(
-                    comm, b, std::span<double>(x_full.data(), x_full.size()),
-                    std::span<double>(r.data(), r.size()));
+      if (!have_rho2) {
+        rho2 = opts_.fused_passes
+                   ? a_high_->residual_norm2(
+                         comm, b,
+                         std::span<double>(x_full.data(), x_full.size()),
+                         std::span<double>(r.data(), r.size()))
+                   : a_high_->residual_then_norm2(
+                         comm, b,
+                         std::span<double>(x_full.data(), x_full.size()),
+                         std::span<double>(r.data(), r.size()));
+      }
+      have_rho2 = false;
       const double rho = std::sqrt(rho2);
       result.relative_residual = rho / rho0;
       if (opts_.track_history) {
@@ -227,36 +243,88 @@ class GmresIr {
       }
       mg_low_->apply(comm, std::span<const TLow>(u.data(), u.size()),
                      std::span<TLow>(z_full.data(), z_full.size()));
-      // Collective vote: every rank must agree on discarding a correction,
-      // or the SPMD ranks' collective schedules (and the guard's uniform
-      // scale) would drift apart. beta/rho_est above are allreduce-derived
-      // and therefore already rank-consistent.
-      const int correction_finite = comm.allreduce_scalar(
-          all_finite(std::span<const TLow>(z_full.data(),
-                                           static_cast<std::size_t>(n)))
-              ? 1
-              : 0,
-          ReduceOp::Min);
-      if (correction_finite == 0) {
-        // Non-finite correction: never fold it into x. Back the scale off
-        // (guarded) or abandon the solve (unguarded).
-        if (guard_ == nullptr || guard_->exhausted()) {
-          aborted = true;
-          break;
+      // alpha compensates the guard's matrix demotion scale: the inner
+      // cycle solved (alpha A) z = r/rho, so the correction is rho·alpha·z.
+      const double alpha = guard_ != nullptr ? guard_->scale() : 1.0;
+      if (!opts_.batched_reductions) {
+        // Collective vote: every rank must agree on discarding a correction,
+        // or the SPMD ranks' collective schedules (and the guard's uniform
+        // scale) would drift apart. beta/rho_est above are allreduce-derived
+        // and therefore already rank-consistent.
+        const int correction_finite = comm.allreduce_scalar(
+            all_finite(std::span<const TLow>(z_full.data(),
+                                             static_cast<std::size_t>(n)))
+                ? 1
+                : 0,
+            ReduceOp::Min);
+        if (correction_finite == 0) {
+          // Non-finite correction: never fold it into x. Back the scale off
+          // (guarded) or abandon the solve (unguarded).
+          if (guard_ == nullptr || guard_->exhausted()) {
+            aborted = true;
+            break;
+          }
+          (void)guard_->on_overflow();
+          sync_operator_scale();
+          continue;
         }
-        (void)guard_->on_overflow();
-        sync_operator_scale();
-        continue;
-      }
-      {
         // Mixed-precision WAXPBY: double x += rho * alpha * low z, single
-        // pass. alpha compensates the guard's matrix demotion scale: the
-        // inner cycle solved (alpha A) z = r/rho, so e = rho * alpha * z.
-        const double alpha = guard_ != nullptr ? guard_->scale() : 1.0;
+        // pass.
         ScopedMotif sm(stats_, Motif::Vector, waxpby_flops(n));
         axpy(rho * alpha,
              std::span<const TLow>(z_full.data(), static_cast<std::size_t>(n)),
              std::span<double>(x_full.data(), static_cast<std::size_t>(n)));
+      } else {
+        // Batched schedule: apply the update to a candidate x_next (copy +
+        // the same axpy kernel as the unbatched path, so the arithmetic is
+        // instruction-identical), evaluate its outer residual locally, and
+        // let ONE 2-double Sum reduction carry both the next cycle's ‖r‖²
+        // and the finite vote — each rank contributes exactly 0.0 or 1.0,
+        // so all-finite ⟺ sum == size(), the same decision the unbatched
+        // Min-vote takes. 2 → 1 outer reductions per cycle.
+        {
+          ScopedMotif sm(stats_, Motif::Vector, waxpby_flops(n));
+          std::copy(x_full.begin(),
+                    x_full.begin() + static_cast<std::ptrdiff_t>(n),
+                    x_next.begin());
+          axpy(rho * alpha,
+               std::span<const TLow>(z_full.data(),
+                                     static_cast<std::size_t>(n)),
+               std::span<double>(x_next.data(), static_cast<std::size_t>(n)));
+        }
+        const double finite_local =
+            all_finite(std::span<const TLow>(z_full.data(),
+                                             static_cast<std::size_t>(n)))
+                ? 1.0
+                : 0.0;
+        const double rho2_cand_local =
+            opts_.fused_passes
+                ? a_high_->residual_norm2_local(
+                      comm, b, std::span<double>(x_next.data(), x_next.size()),
+                      std::span<double>(r.data(), r.size()))
+                : a_high_->residual_then_norm2_local(
+                      comm, b, std::span<double>(x_next.data(), x_next.size()),
+                      std::span<double>(r.data(), r.size()));
+        const std::array<double, 2> local{rho2_cand_local, finite_local};
+        std::array<double, 2> global{};
+        comm.allreduce(std::span<const double>(local.data(), local.size()),
+                       std::span<double>(global.data(), global.size()),
+                       ReduceOp::Sum);
+        if (global[1] != static_cast<double>(comm.size())) {
+          // Same recovery as the unbatched vote. x is untouched; r holds
+          // the discarded candidate's residual, but have_rho2 == false
+          // makes the loop top recompute both from x.
+          if (guard_ == nullptr || guard_->exhausted()) {
+            aborted = true;
+            break;
+          }
+          (void)guard_->on_overflow();
+          sync_operator_scale();
+          continue;
+        }
+        std::swap(x_full, x_next);
+        rho2 = global[0];
+        have_rho2 = true;
       }
       if (guard_ != nullptr) {
         (void)guard_->on_good_cycle();

@@ -11,6 +11,7 @@
 #include "base/error.hpp"
 #include "base/options.hpp"
 #include "base/types.hpp"
+#include "comm/comm_world.hpp"
 #include "precision/precision.hpp"
 
 namespace hpgmx {
@@ -76,6 +77,26 @@ struct BenchParams {
 
   OptLevel opt = OptLevel::Optimized;
 
+  /// SPMD backend the driver launches ranks on (HPGMX_COMM=self|thread|mpi).
+  /// Thread is the historical in-process default; mpi requires a build with
+  /// HPGMX_WITH_MPI=ON and takes its rank count from mpirun. Results are
+  /// bit-identical across backends at a fixed rank count (all three honor
+  /// the rank-ordered allreduce contract).
+  CommBackend comm_backend = CommBackend::Thread;
+
+  /// Overlap the halo exchange with interior-row compute on the optimized
+  /// path (paper §3.2.3). Off runs the blocking exchange followed by the
+  /// same kernels over the same row lists in the same order, so the toggle
+  /// moves only wall time, never a bit (HPGMX_OVERLAP=0 for the ablation).
+  bool overlap = true;
+
+  /// Coalesce independent per-scalar solver allreduces into multi-double
+  /// reductions (CG's ‖r‖²+⟨r,z⟩ pair, GMRES-IR's candidate-residual+
+  /// finite-vote pair). The elementwise rank-ordered allreduce makes every
+  /// packed entry bit-identical to its stand-alone reduction, so this
+  /// changes message count, not iterates (HPGMX_BATCH_REDUCE=0 to disable).
+  bool batched_reduce = true;
+
   /// Column-index width of the optimized ELL format (HPGMX_IDX=auto|16|32).
   /// Auto stores 16-bit delta indices whenever the local column window fits
   /// ±32767 and falls back to 32-bit otherwise; 32 pins the uncompressed
@@ -111,8 +132,9 @@ struct BenchParams {
   /// HPGMX_GAMMA, HPGMX_MG_LEVELS, HPGMX_PRECISION (fp64|fp32|bf16|fp16),
   /// HPGMX_PRECISION_SCHEDULE (comma-separated per-level formats, e.g.
   /// fp32,bf16,bf16 — overrides HPGMX_PRECISION with its entry format),
-  /// HPGMX_OPT (reference|optimized) and HPGMX_IDX (auto|16|32) environment
-  /// overrides.
+  /// HPGMX_OPT (reference|optimized), HPGMX_IDX (auto|16|32),
+  /// HPGMX_COMM (self|thread|mpi), HPGMX_OVERLAP (0|1) and
+  /// HPGMX_BATCH_REDUCE (0|1) environment overrides.
   static BenchParams from_env() {
     BenchParams p;
     p.nx = static_cast<local_index_t>(env_int_or("HPGMX_NX", p.nx));
@@ -142,6 +164,16 @@ struct BenchParams {
                                     << "' is not an index width (auto|16|32)");
       p.index_width = *parsed;
     }
+    if (const auto comm = env_string("HPGMX_COMM"); comm.has_value()) {
+      const auto parsed = parse_comm_backend(*comm);
+      HPGMX_CHECK_MSG(parsed.has_value(),
+                      "HPGMX_COMM='" << *comm
+                                     << "' is not a backend (self|thread|mpi)");
+      p.comm_backend = *parsed;
+    }
+    p.overlap = env_int_or("HPGMX_OVERLAP", p.overlap ? 1 : 0) != 0;
+    p.batched_reduce =
+        env_int_or("HPGMX_BATCH_REDUCE", p.batched_reduce ? 1 : 0) != 0;
     return p;
   }
 };

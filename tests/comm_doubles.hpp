@@ -1,0 +1,231 @@
+// Test doubles for the Comm interface.
+//
+// RecordingComm wraps any Comm and counts every call and payload byte that
+// crosses it — the instrument behind the "measured halo traffic equals the
+// bytes model" and "batching really removed allreduces" assertions.
+//
+// FaultyComm wraps any Comm and misbehaves in ways a real network does:
+// sends are withheld and later delivered in reverse order (out-of-order
+// arrival), and nonblocking receive completion can be delayed. Correct code
+// must not care — message matching is by (src, tag) and the split-phase
+// halo exchange must tolerate late completion — so the solvers and the
+// HaloExchange epochs are asserted bit-exact under it.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+/// Counts every operation (and payload byte) passing through a wrapped Comm.
+class RecordingComm final : public Comm {
+ public:
+  struct Counts {
+    std::size_t sends = 0;
+    std::size_t recvs = 0;
+    std::size_t isends = 0;
+    std::size_t irecvs = 0;
+    /// Bytes handed to send/isend (the wire payload, excluding any
+    /// envelope) and bytes posted for recv/irecv.
+    std::size_t send_payload_bytes = 0;
+    std::size_t recv_payload_bytes = 0;
+    std::size_t allreduces = 0;
+    /// Bytes of this rank's allreduce contributions (n * element size).
+    std::size_t allreduce_payload_bytes = 0;
+    std::size_t allgathers = 0;
+    std::size_t bcasts = 0;
+    std::size_t barriers = 0;
+  };
+
+  explicit RecordingComm(Comm& inner) : inner_(&inner) {}
+
+  [[nodiscard]] const Counts& counts() const { return counts_; }
+  void reset() { counts_ = Counts{}; }
+
+  [[nodiscard]] int rank() const override { return inner_->rank(); }
+  [[nodiscard]] int size() const override { return inner_->size(); }
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override {
+    ++counts_.sends;
+    counts_.send_payload_bytes += bytes;
+    inner_->send_bytes(dst, tag, data, bytes);
+  }
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override {
+    ++counts_.recvs;
+    counts_.recv_payload_bytes += bytes;
+    inner_->recv_bytes(src, tag, data, bytes);
+  }
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override {
+    ++counts_.isends;
+    counts_.send_payload_bytes += bytes;
+    return inner_->isend_bytes(dst, tag, data, bytes);
+  }
+  Request irecv_bytes(int src, int tag, void* data,
+                      std::size_t bytes) override {
+    ++counts_.irecvs;
+    counts_.recv_payload_bytes += bytes;
+    return inner_->irecv_bytes(src, tag, data, bytes);
+  }
+
+  void barrier() override {
+    ++counts_.barriers;
+    inner_->barrier();
+  }
+  void allreduce_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops, ReduceOp op) override {
+    ++counts_.allreduces;
+    counts_.allreduce_payload_bytes += n * ops.size;
+    inner_->allreduce_bytes(in, out, n, ops, op);
+  }
+  void allgather_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops) override {
+    ++counts_.allgathers;
+    inner_->allgather_bytes(in, out, n, ops);
+  }
+  void bcast_bytes(void* data, std::size_t n, const detail::TypeOps& ops,
+                   int root) override {
+    ++counts_.bcasts;
+    inner_->bcast_bytes(data, n, ops, root);
+  }
+
+ private:
+  Comm* inner_;
+  Counts counts_;
+};
+
+/// Wraps a Comm and perturbs delivery: sends are buffered and flushed in
+/// REVERSE posting order only when this rank next needs progress (a receive,
+/// a wait on a delayed receive, or any collective), and completed receives
+/// can be held for `delay_us` before the waiter is released. Matching stays
+/// by (src, tag), so any code that is correct under MPI's non-overtaking
+/// guarantee per (src, tag) pair must produce identical bits here.
+class FaultyComm final : public Comm {
+ public:
+  struct Config {
+    /// Microseconds each nonblocking-receive wait() sleeps after the inner
+    /// transfer completed (late-completion injection).
+    int delay_us = 0;
+    /// Deliver withheld sends in reverse posting order.
+    bool reorder_sends = true;
+  };
+
+  FaultyComm(Comm& inner, Config config) : inner_(&inner), config_(config) {}
+
+  /// Sends still withheld (flushed on destruction so no message is lost).
+  ~FaultyComm() override { flush(); }
+
+  [[nodiscard]] int rank() const override { return inner_->rank(); }
+  [[nodiscard]] int size() const override { return inner_->size(); }
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override {
+    buffer(dst, tag, data, bytes);
+  }
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override {
+    flush();
+    inner_->recv_bytes(src, tag, data, bytes);
+  }
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override {
+    // Eager completion: the payload is copied into the withheld-send buffer,
+    // so the caller's buffer is immediately reusable and the returned
+    // request has nothing to wait for — the legal extreme of MPI's eager
+    // protocol.
+    buffer(dst, tag, data, bytes);
+    return Request{};
+  }
+  Request irecv_bytes(int src, int tag, void* data,
+                      std::size_t bytes) override {
+    return Request(std::make_shared<DelayedRecv>(
+        this, inner_->irecv_bytes(src, tag, data, bytes)));
+  }
+
+  void barrier() override {
+    flush();
+    inner_->barrier();
+  }
+  void allreduce_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops, ReduceOp op) override {
+    flush();
+    inner_->allreduce_bytes(in, out, n, ops, op);
+  }
+  void allgather_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops) override {
+    flush();
+    inner_->allgather_bytes(in, out, n, ops);
+  }
+  void bcast_bytes(void* data, std::size_t n, const detail::TypeOps& ops,
+                   int root) override {
+    flush();
+    inner_->bcast_bytes(data, n, ops, root);
+  }
+
+  /// Deliver every withheld send (reverse posting order when configured).
+  void flush() {
+    if (pending_.empty()) {
+      return;
+    }
+    std::vector<PendingSend> batch;
+    batch.swap(pending_);
+    if (config_.reorder_sends) {
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        inner_->send_bytes(it->dst, it->tag, it->data.data(),
+                           it->data.size());
+      }
+    } else {
+      for (const PendingSend& p : batch) {
+        inner_->send_bytes(p.dst, p.tag, p.data.data(), p.data.size());
+      }
+    }
+  }
+
+ private:
+  struct PendingSend {
+    int dst = 0;
+    int tag = 0;
+    std::vector<std::byte> data;
+  };
+
+  /// wait(): release this rank's withheld sends first (otherwise two
+  /// FaultyComm ranks waiting on each other would both sit on undelivered
+  /// messages), complete the inner receive, then hold the caller.
+  class DelayedRecv final : public Request::State {
+   public:
+    DelayedRecv(FaultyComm* owner, Request inner)
+        : owner_(owner), inner_(std::move(inner)) {}
+    void wait() override {
+      owner_->flush();
+      inner_.wait();
+      if (owner_->config_.delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(owner_->config_.delay_us));
+      }
+    }
+
+   private:
+    FaultyComm* owner_;
+    Request inner_;
+  };
+
+  void buffer(int dst, int tag, const void* data, std::size_t bytes) {
+    PendingSend p;
+    p.dst = dst;
+    p.tag = tag;
+    p.data.resize(bytes);
+    std::memcpy(p.data.data(), data, bytes);
+    pending_.push_back(std::move(p));
+  }
+
+  Comm* inner_;
+  Config config_;
+  std::vector<PendingSend> pending_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,218 @@
+// Concurrency stress for the ThreadComm mailboxes and the split-phase halo
+// exchange — the suite the ThreadSanitizer CI lane races. Each scenario
+// hammers one sharing pattern from the real solvers at 8 ranks for many
+// rounds with full value verification: a data race that TSan can catch has
+// to actually execute to be caught, so the loops are deliberately hot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/halo.hpp"
+#include "comm/thread_comm.hpp"
+
+namespace hpgmx {
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kRounds = 150;
+
+// Ring halo pattern: every rank owns 4 entries and reads one ghost from
+// each side (wrapping), so all 8 ranks are both senders and receivers in
+// every epoch.
+HaloPattern ring_pattern(int rank, int p, local_index_t n_owned) {
+  HaloPattern pat;
+  pat.n_owned = n_owned;
+  pat.n_halo = 0;
+  const int left = (rank + p - 1) % p;
+  const int right = (rank + 1) % p;
+  {
+    HaloNeighbor nb;
+    nb.rank = left;
+    nb.send_indices = {0};
+    nb.recv_offset = pat.n_halo;
+    nb.recv_count = 1;
+    pat.n_halo += 1;
+    pat.neighbors.push_back(std::move(nb));
+  }
+  {
+    HaloNeighbor nb;
+    nb.rank = right;
+    nb.send_indices = {n_owned - 1};
+    nb.recv_offset = pat.n_halo;
+    nb.recv_count = 1;
+    pat.n_halo += 1;
+    pat.neighbors.push_back(std::move(nb));
+  }
+  return pat;
+}
+
+TEST(CommStress, HaloEpochStorm) {
+  const local_index_t n = 4;
+  ThreadCommWorld::execute(kRanks, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    const HaloPattern pat = ring_pattern(rank, p, n);
+    HaloExchange<double> hx(&pat, /*tag=*/11);
+    AlignedVector<double> x(static_cast<std::size_t>(pat.vector_length()),
+                            0.0);
+    for (int round = 0; round < kRounds; ++round) {
+      for (local_index_t i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] =
+            1000.0 * rank + 10.0 * round + static_cast<double>(i);
+      }
+      hx.begin(comm, std::span<double>(x.data(), x.size()));
+      ASSERT_TRUE(hx.in_flight());
+      // "Interior compute" between the phases.
+      double scratch = 0.0;
+      for (local_index_t i = 0; i < n; ++i) {
+        scratch += x[static_cast<std::size_t>(i)];
+      }
+      ASSERT_GT(scratch, -1.0);
+      hx.finish(comm);
+      ASSERT_FALSE(hx.in_flight());
+      const int left = (rank + p - 1) % p;
+      const int right = (rank + 1) % p;
+      // Ghost 0 is the left neighbor's last owned entry; ghost 1 the right
+      // neighbor's first.
+      EXPECT_EQ(x[static_cast<std::size_t>(n)],
+                1000.0 * left + 10.0 * round + static_cast<double>(n - 1));
+      EXPECT_EQ(x[static_cast<std::size_t>(n) + 1],
+                1000.0 * right + 10.0 * round);
+    }
+  });
+}
+
+TEST(CommStress, AllreduceStorm) {
+  ThreadCommWorld::execute(kRanks, [&](Comm& comm) {
+    const int p = comm.size();
+    for (int round = 0; round < kRounds; ++round) {
+      const double sum =
+          comm.allreduce_scalar(static_cast<double>(comm.rank() + round),
+                                ReduceOp::Sum);
+      EXPECT_EQ(sum, static_cast<double>(p * (p - 1) / 2 + p * round));
+      const double mx = comm.allreduce_scalar(
+          static_cast<double>(comm.rank() * (round % 3 + 1)), ReduceOp::Max);
+      EXPECT_EQ(mx, static_cast<double>((p - 1) * (round % 3 + 1)));
+      std::vector<std::int64_t> in{comm.rank() + 1, round};
+      std::vector<std::int64_t> out(2, 0);
+      comm.allreduce(std::span<const std::int64_t>(in.data(), in.size()),
+                     std::span<std::int64_t>(out.data(), out.size()),
+                     ReduceOp::Sum);
+      EXPECT_EQ(out[0], static_cast<std::int64_t>(p * (p + 1) / 2));
+      EXPECT_EQ(out[1], static_cast<std::int64_t>(p * round));
+    }
+  });
+}
+
+TEST(CommStress, MixedTagPointToPointStorm) {
+  // All-to-all isend/irecv with per-(src,tag) sequencing: every rank posts
+  // receives from every other rank on three tags, then sends, then waits.
+  ThreadCommWorld::execute(kRanks, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    constexpr int kTags = 3;
+    for (int round = 0; round < kRounds / 3; ++round) {
+      std::vector<std::int32_t> inbox(
+          static_cast<std::size_t>(p * kTags), -1);
+      std::vector<std::int32_t> outbox(
+          static_cast<std::size_t>(p * kTags), -1);
+      std::vector<Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(p * kTags) * 2);
+      for (int src = 0; src < p; ++src) {
+        if (src == rank) {
+          continue;
+        }
+        for (int t = 0; t < kTags; ++t) {
+          const auto slot = static_cast<std::size_t>(src * kTags + t);
+          reqs.push_back(comm.irecv(
+              src, 40 + t, std::span<std::int32_t>(&inbox[slot], 1)));
+        }
+      }
+      for (int dst = 0; dst < p; ++dst) {
+        if (dst == rank) {
+          continue;
+        }
+        for (int t = 0; t < kTags; ++t) {
+          const auto slot = static_cast<std::size_t>(dst * kTags + t);
+          outbox[slot] =
+              static_cast<std::int32_t>(10000 * rank + 100 * t + round);
+          reqs.push_back(comm.isend(
+              dst, 40 + t, std::span<const std::int32_t>(&outbox[slot], 1)));
+        }
+      }
+      for (Request& r : reqs) {
+        r.wait();
+      }
+      for (int src = 0; src < p; ++src) {
+        if (src == rank) {
+          continue;
+        }
+        for (int t = 0; t < kTags; ++t) {
+          const auto slot = static_cast<std::size_t>(src * kTags + t);
+          ASSERT_EQ(inbox[slot],
+                    static_cast<std::int32_t>(10000 * src + 100 * t + round));
+        }
+      }
+    }
+  });
+}
+
+TEST(CommStress, CollectiveMixStorm) {
+  ThreadCommWorld::execute(kRanks, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    for (int round = 0; round < kRounds / 2; ++round) {
+      // Allgather of one value per rank.
+      std::vector<double> mine{100.0 * rank + round};
+      std::vector<double> all(static_cast<std::size_t>(p), -1.0);
+      comm.allgather(std::span<const double>(mine.data(), 1),
+                     std::span<double>(all.data(), all.size()));
+      for (int r = 0; r < p; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)], 100.0 * r + round);
+      }
+      // Broadcast from a rotating root.
+      const int root = round % p;
+      std::vector<std::int64_t> payload(3, rank == root ? round : -1);
+      comm.bcast(std::span<std::int64_t>(payload.data(), payload.size()),
+                 root);
+      for (const std::int64_t v : payload) {
+        ASSERT_EQ(v, static_cast<std::int64_t>(round));
+      }
+      comm.barrier();
+    }
+  });
+}
+
+TEST(CommStress, ConcurrentHaloAndReductions) {
+  // The real solver shape: split-phase halo traffic interleaved with
+  // scalar reductions on every rank, all rounds back-to-back.
+  const local_index_t n = 4;
+  ThreadCommWorld::execute(kRanks, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    const HaloPattern pat = ring_pattern(rank, p, n);
+    HaloExchange<float> hx(&pat, /*tag=*/21);
+    AlignedVector<float> x(static_cast<std::size_t>(pat.vector_length()),
+                           0.0F);
+    for (int round = 0; round < kRounds; ++round) {
+      for (local_index_t i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] =
+            static_cast<float>(8 * rank + round % 16 + i);
+      }
+      hx.begin(comm, std::span<float>(x.data(), x.size()));
+      const double partial = comm.allreduce_scalar(
+          static_cast<double>(rank + 1), ReduceOp::Sum);
+      EXPECT_EQ(partial, static_cast<double>(p * (p + 1) / 2));
+      hx.finish(comm);
+      const int left = (rank + p - 1) % p;
+      EXPECT_EQ(x[static_cast<std::size_t>(n)],
+                static_cast<float>(8 * left + round % 16 + (n - 1)));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hpgmx

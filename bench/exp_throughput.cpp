@@ -1,0 +1,273 @@
+// Solver-as-a-service throughput exhibit: solves/sec vs batch size against
+// one cached operator, cold-vs-warm setup cost, async queue drain, and the
+// scenario catalog — the "millions of users" axis of the ROADMAP on top of
+// the paper's single-solve GMRES-IR pipeline.
+//
+//   cold      first request: generation + coloring + hierarchy build + solve
+//   warm B    repeat descriptor, B right-hand sides: cache hit amortizes the
+//             whole setup across the batch (per-RHS results bit-identical to
+//             B independent solves)
+//   queue     several tickets submitted async, drained by the worker pool
+//   scenarios every registered coefficient field solved to the same 1e-9
+//
+// Exit-code gates (CI runs this via bench/run_bench.sh):
+//   - the second request of an identical descriptor is a cache hit with
+//     near-zero setup time,
+//   - warm-cache batched (B>=16) solves/sec strictly exceeds the cold
+//     single-RHS request at unchanged per-RHS convergence (outer 1e-9),
+//   - every scenario solve converges.
+//
+//   $ ./exp_throughput [--json]      # HPGMX_NX/HPGMX_SERVICE_* scale it
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "exhibit_common.hpp"
+#include "service/solver_service.hpp"
+
+namespace {
+
+using namespace hpgmx;
+
+struct BatchRow {
+  int batch = 0;
+  ServiceResult res;
+
+  [[nodiscard]] double wall() const {
+    return res.setup_seconds + res.solve_seconds;
+  }
+  [[nodiscard]] double solves_per_sec() const {
+    return wall() > 0 ? batch / wall() : 0.0;
+  }
+  [[nodiscard]] double max_relres() const {
+    double m = 0.0;
+    for (const SolveResult& r : res.rhs) {
+      m = std::max(m, r.relative_residual);
+    }
+    return m;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hpgmx::bench::ExhibitConfig;
+  using hpgmx::bench::has_flag;
+  const bool json = has_flag(argc, argv, "--json");
+
+  ExhibitConfig cfg = ExhibitConfig::from_env(/*default_n=*/16);
+  ServiceConfig service_cfg = ServiceConfig::from_env();
+  const ProblemDescriptor desc = ProblemDescriptor::from_bench_params(
+      cfg.params, cfg.ranks, SolverKind::GmresIr);
+
+  std::vector<int> batch_sizes{1, 4, 16, 64};
+  const int batch_max =
+      static_cast<int>(env_int_or("HPGMX_BATCH_MAX", batch_sizes.back()));
+  std::erase_if(batch_sizes, [&](int b) { return b > batch_max; });
+
+  if (!json) {
+    hpgmx::bench::banner(
+        "exp_throughput — solver-as-a-service: batched many-RHS solves "
+        "against a cached operator",
+        "single-solve HPG-MxP exhibits, extended to a served workload");
+    std::printf("descriptor: %s\nhash: %016llx\n", desc.canonical().c_str(),
+                static_cast<unsigned long long>(desc.hash()));
+  }
+
+  SolverService service(service_cfg);
+
+  // -- cold: the first request pays generation + coloring + hierarchy ------
+  SolveRequest cold_req;
+  cold_req.desc = desc;
+  const BatchRow cold{1, service.solve_now(cold_req)};
+
+  // -- warm sweep: identical descriptor, growing RHS batches ---------------
+  std::vector<BatchRow> rows;
+  for (const int b : batch_sizes) {
+    SolveRequest req;
+    req.desc = desc;
+    req.num_rhs = b;
+    req.rhs_spread = 0.25;
+    rows.push_back({b, service.solve_now(req)});
+  }
+
+  // -- async queue: one ticket per worker, drained concurrently ------------
+  const int tickets = service_cfg.workers;
+  const int queue_batch = 4;
+  WallTimer queue_timer;
+  std::vector<std::future<ServiceResult>> futures;
+  futures.reserve(static_cast<std::size_t>(tickets));
+  for (int t = 0; t < tickets; ++t) {
+    SolveRequest req;
+    req.desc = desc;
+    req.num_rhs = queue_batch;
+    req.rhs_spread = 0.25;
+    futures.push_back(service.submit(req));
+  }
+  bool queue_converged = true;
+  for (auto& f : futures) {
+    queue_converged = f.get().all_converged() && queue_converged;
+  }
+  const double queue_wall = queue_timer.seconds();
+  const double queue_solves_per_sec =
+      queue_wall > 0 ? tickets * queue_batch / queue_wall : 0.0;
+
+  // -- scenario catalog: every registered coefficient field to 1e-9 --------
+  struct ScenarioRow {
+    std::string name;
+    ServiceResult res;
+    double max_relres = 0.0;
+  };
+  std::vector<ScenarioRow> scenario_rows;
+  for (const Scenario sc : scenario_catalog()) {
+    ProblemDescriptor sd = desc;
+    sd.scenario.kind = sc;
+    // The convection-diffusion scenario is the gamma-biased stencil (an
+    // exact binary fraction so demoted operators round identically).
+    sd.gamma = sc == Scenario::ConvDiff ? 0.0625 : 0.0;
+    SolveRequest req;
+    req.desc = sd;
+    req.num_rhs = 2;
+    req.rhs_spread = 0.25;
+    ScenarioRow row{scenario_name(sc), service.solve_now(req), 0.0};
+    row.max_relres = BatchRow{req.num_rhs, row.res}.max_relres();
+    scenario_rows.push_back(std::move(row));
+  }
+
+  const OperatorCacheStats cache = service.cache_stats();
+  service.shutdown();
+
+  // -- gates ---------------------------------------------------------------
+  const BatchRow& warm1 = rows.front();
+  const bool gate_cache_hit =
+      warm1.res.cache_hit &&
+      warm1.res.setup_seconds <
+          std::max(1e-4, 0.1 * cold.res.setup_seconds);
+  bool gate_throughput = true;
+  bool any_large_batch = false;
+  for (const BatchRow& r : rows) {
+    if (r.batch >= 16) {
+      any_large_batch = true;
+      gate_throughput =
+          gate_throughput && r.solves_per_sec() > cold.solves_per_sec();
+    }
+  }
+  gate_throughput = gate_throughput && any_large_batch;
+  // Unchanged convergence: every warm RHS reaches the same outer 1e-9, and
+  // the warm batch's first column repeats the cold solve bit-for-bit (same
+  // cached operator, same arithmetic).
+  bool gate_convergence = cold.res.all_converged() && queue_converged;
+  for (const BatchRow& r : rows) {
+    gate_convergence = gate_convergence && r.res.all_converged();
+  }
+  gate_convergence =
+      gate_convergence &&
+      warm1.res.rhs[0].iterations == cold.res.rhs[0].iterations &&
+      warm1.res.rhs[0].relative_residual == cold.res.rhs[0].relative_residual;
+  bool gate_scenarios = true;
+  for (const ScenarioRow& s : scenario_rows) {
+    gate_scenarios = gate_scenarios && s.res.all_converged();
+  }
+  const bool ok =
+      gate_cache_hit && gate_throughput && gate_convergence && gate_scenarios;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"throughput\",\n");
+    std::printf(
+        "  \"config\": {\"nx\": %d, \"ranks\": %d, \"solver\": \"%s\", "
+        "\"precision\": \"%s\", \"tol\": %.3g, \"workers\": %d, "
+        "\"descriptor_hash\": \"%016llx\"},\n",
+        static_cast<int>(cfg.params.nx), cfg.ranks,
+        solver_kind_name(desc.solver),
+        std::string(precision_name(desc.inner_precision)).c_str(), desc.tol,
+        service_cfg.workers,
+        static_cast<unsigned long long>(desc.hash()));
+    std::printf(
+        "  \"cold\": {\"setup_seconds\": %.6f, \"solve_seconds\": %.6f, "
+        "\"solves_per_sec\": %.3f, \"iterations\": %d, \"relres\": %.3e},\n",
+        cold.res.setup_seconds, cold.res.solve_seconds, cold.solves_per_sec(),
+        cold.res.rhs[0].iterations, cold.res.rhs[0].relative_residual);
+    std::printf("  \"batches\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const BatchRow& r = rows[i];
+      std::printf(
+          "    {\"batch\": %d, \"cache_hit\": %s, \"setup_seconds\": %.6f, "
+          "\"solve_seconds\": %.6f, \"solves_per_sec\": %.3f, "
+          "\"iterations_per_rhs\": %d, \"max_relres\": %.3e, "
+          "\"all_converged\": %s}%s\n",
+          r.batch, r.res.cache_hit ? "true" : "false", r.res.setup_seconds,
+          r.res.solve_seconds, r.solves_per_sec(), r.res.rhs[0].iterations,
+          r.max_relres(), r.res.all_converged() ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf(
+        "  \"queue\": {\"tickets\": %d, \"batch\": %d, \"wall_seconds\": "
+        "%.6f, \"solves_per_sec\": %.3f, \"all_converged\": %s},\n",
+        tickets, queue_batch, queue_wall, queue_solves_per_sec,
+        queue_converged ? "true" : "false");
+    std::printf("  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < scenario_rows.size(); ++i) {
+      const ScenarioRow& s = scenario_rows[i];
+      std::printf(
+          "    {\"name\": \"%s\", \"iterations_per_rhs\": %d, "
+          "\"max_relres\": %.3e, \"all_converged\": %s}%s\n",
+          s.name.c_str(), s.res.rhs[0].iterations, s.max_relres,
+          s.res.all_converged() ? "true" : "false",
+          i + 1 < scenario_rows.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf(
+        "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": "
+        "%llu, \"entries\": %zu, \"bytes\": %zu},\n",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.evictions), cache.entries,
+        cache.bytes);
+    std::printf(
+        "  \"gates\": {\"warm_cache_hit\": %s, "
+        "\"warm_batched_faster_than_cold\": %s, \"identical_convergence\": "
+        "%s, \"scenarios_converge\": %s}\n",
+        gate_cache_hit ? "true" : "false", gate_throughput ? "true" : "false",
+        gate_convergence ? "true" : "false",
+        gate_scenarios ? "true" : "false");
+    std::printf("}\n");
+  } else {
+    std::printf("\ncold request : setup %.4f s  solve %.4f s  -> %.2f "
+                "solves/s (%d iters, relres %.2e)\n",
+                cold.res.setup_seconds, cold.res.solve_seconds,
+                cold.solves_per_sec(), cold.res.rhs[0].iterations,
+                cold.res.rhs[0].relative_residual);
+    std::printf("\n%6s %6s %10s %10s %12s %8s %10s\n", "batch", "hit",
+                "setup(s)", "solve(s)", "solves/s", "iters", "max relres");
+    for (const BatchRow& r : rows) {
+      std::printf("%6d %6s %10.4f %10.4f %12.2f %8d %10.2e\n", r.batch,
+                  r.res.cache_hit ? "yes" : "no", r.res.setup_seconds,
+                  r.res.solve_seconds, r.solves_per_sec(),
+                  r.res.rhs[0].iterations, r.max_relres());
+    }
+    std::printf("\nqueue: %d tickets x %d RHS on %d workers -> %.2f "
+                "solves/s (%s)\n",
+                tickets, queue_batch, service_cfg.workers,
+                queue_solves_per_sec, queue_converged ? "converged" : "FAIL");
+    std::printf("\nscenario catalog (GMRES-IR to %.0e):\n", desc.tol);
+    for (const ScenarioRow& s : scenario_rows) {
+      std::printf("  %-10s %5d iters/rhs  max relres %.2e  %s\n",
+                  s.name.c_str(), s.res.rhs[0].iterations, s.max_relres,
+                  s.res.all_converged() ? "ok" : "FAIL");
+    }
+    std::printf("\ncache: %llu hits / %llu misses, %zu entries, %.2f MiB\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses), cache.entries,
+                static_cast<double>(cache.bytes) / (1024.0 * 1024.0));
+    std::printf("gates: warm_cache_hit=%d warm_batched_faster_than_cold=%d "
+                "identical_convergence=%d scenarios_converge=%d -> %s\n",
+                gate_cache_hit ? 1 : 0, gate_throughput ? 1 : 0,
+                gate_convergence ? 1 : 0, gate_scenarios ? 1 : 0,
+                ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,25 +1,34 @@
 #!/usr/bin/env sh
-# Produce the BENCH_kernels.json perf-trajectory artifact from the kernel
-# microbenchmarks. Usage:
+# Produce the benchmark-artifact JSONs:
 #
-#   bench/run_bench.sh [output.json]
+#   bench/run_bench.sh [kernels.json] [throughput.json]
+#
+#   BENCH_kernels.json     — kernel microbenchmarks (micro_kernels --json)
+#   BENCH_throughput.json  — solver-service throughput exhibit
+#                            (exp_throughput --json)
 #
 # Env: BUILD_DIR (default: build), plus the usual HPGMX_* scale knobs
-# (HPGMX_NX, HPGMX_BENCH_SECONDS, ...). The emitted JSON covers both ELL
-# index layouts (idx32 absolute columns vs idx16 compressed deltas). Exits
-# nonzero when either micro_kernels gate fails — 16-bit value formats must
-# model fewer SpMV bytes/row than fp32, and bf16+idx16 must model strictly
-# fewer than bf16+idx32 — so CI can call this directly.
+# (HPGMX_NX, HPGMX_BENCH_SECONDS, HPGMX_SERVICE_WORKERS, HPGMX_BATCH_MAX,
+# ...). Exits nonzero when any gate fails — the 16-bit byte-model gates of
+# micro_kernels, and the cache-hit / batched-throughput / convergence gates
+# of exp_throughput — so CI can call this directly.
 set -eu
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_kernels.json}
-BIN="$BUILD_DIR/bench/micro_kernels"
+KERNELS_OUT=${1:-BENCH_kernels.json}
+THROUGHPUT_OUT=${2:-BENCH_throughput.json}
+KERNELS_BIN="$BUILD_DIR/bench/micro_kernels"
+THROUGHPUT_BIN="$BUILD_DIR/bench/exp_throughput"
 
-if [ ! -x "$BIN" ]; then
-  echo "run_bench.sh: $BIN not found — build first (cmake --build $BUILD_DIR)" >&2
-  exit 2
-fi
+for bin in "$KERNELS_BIN" "$THROUGHPUT_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_bench.sh: $bin not found — build first (cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
 
-"$BIN" --json > "$OUT"
-echo "run_bench.sh: wrote $OUT" >&2
+"$KERNELS_BIN" --json > "$KERNELS_OUT"
+echo "run_bench.sh: wrote $KERNELS_OUT" >&2
+
+"$THROUGHPUT_BIN" --json > "$THROUGHPUT_OUT"
+echo "run_bench.sh: wrote $THROUGHPUT_OUT" >&2

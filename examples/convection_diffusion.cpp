@@ -7,34 +7,58 @@
 // showing how the mixed-precision overhead behaves as the matrix departs
 // from symmetry.
 //
-//   $ ./convection_diffusion [n] [gamma_max]
+//   $ ./convection_diffusion [n] [gamma_max] [--json]
+//   $ HPGMX_SCENARIO=aniso ./convection_diffusion --json
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "comm/comm.hpp"
 #include "core/gmres.hpp"
 #include "core/gmres_ir.hpp"
 #include "core/multigrid.hpp"
+#include "exhibit_common.hpp"
 #include "grid/problem.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpgmx;
-  const local_index_t n =
-      argc > 1 ? static_cast<local_index_t>(std::atoi(argv[1])) : 24;
-  const double gamma_max = argc > 2 ? std::atof(argv[2]) : 0.8;
+  const bool json = bench::has_flag(argc, argv, "--json");
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      pos.push_back(argv[i]);
+    }
+  }
+  BenchParams params = BenchParams::from_env();
+  if (!env_int("HPGMX_NX").has_value()) {
+    params.nx = params.ny = params.nz = 24;
+  }
+  if (!pos.empty()) {
+    params.nx = params.ny = params.nz =
+        static_cast<local_index_t>(std::atoi(pos[0]));
+  }
+  const local_index_t n = params.nx;
+  const double gamma_max = pos.size() > 1 ? std::atof(pos[1]) : 0.8;
 
-  std::printf("convection-diffusion sweep on a %d^3 grid (27-pt stencil,\n"
-              "off-diagonals -1∓γ by upwind direction)\n\n",
-              n);
-  std::printf("%8s %10s %10s %10s %12s %14s\n", "gamma", "n_d", "n_ir",
-              "penalty", "d relres", "ir relres");
+  if (!json) {
+    std::printf("convection-diffusion sweep on a %d^3 grid (27-pt stencil,\n"
+                "off-diagonals -1∓γ by upwind direction, scenario %s)\n\n",
+                n, params.scenario.to_string().c_str());
+    std::printf("%8s %10s %10s %10s %12s %14s\n", "gamma", "n_d", "n_ir",
+                "penalty", "d relres", "ir relres");
+  }
 
+  struct Row {
+    double gamma;
+    SolveResult rd;
+    SolveResult rir;
+  };
+  std::vector<Row> rows;
   for (double gamma = 0.0; gamma <= gamma_max + 1e-12; gamma += gamma_max / 4) {
     ProblemParams pp;
     pp.nx = pp.ny = pp.nz = n;
     pp.gamma = gamma;
-    BenchParams params;
-    params.nx = params.ny = params.nz = n;
+    pp.scenario = params.scenario;
     params.gamma = gamma;
 
     const ProblemHierarchy h =
@@ -63,18 +87,45 @@ int main(int argc, char** argv) {
         std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
         std::span<double>(x.data(), x.size()));
 
-    const double ratio =
-        rir.iterations > 0
-            ? static_cast<double>(rd.iterations) / rir.iterations
-            : 0.0;
-    std::printf("%8.2f %10d %10d %10.3f %12.2e %14.2e\n", gamma,
-                rd.iterations, rir.iterations, std::min(1.0, ratio),
-                rd.relative_residual, rir.relative_residual);
-    if (!rd.converged || !rir.converged) {
-      std::printf("  (warning: not converged at gamma=%.2f)\n", gamma);
+    rows.push_back({gamma, rd, rir});
+    if (!json) {
+      const double ratio =
+          rir.iterations > 0
+              ? static_cast<double>(rd.iterations) / rir.iterations
+              : 0.0;
+      std::printf("%8.2f %10d %10d %10.3f %12.2e %14.2e\n", gamma,
+                  rd.iterations, rir.iterations, std::min(1.0, ratio),
+                  rd.relative_residual, rir.relative_residual);
+      if (!rd.converged || !rir.converged) {
+        std::printf("  (warning: not converged at gamma=%.2f)\n", gamma);
+      }
     }
   }
-  std::printf("\nBoth solvers reach 1e-9 for every γ; the mixed solver's\n"
-              "extra iterations are what the HPG-MxP penalty charges for.\n");
-  return 0;
+
+  bool all_converged = true;
+  for (const Row& r : rows) {
+    all_converged = all_converged && r.rd.converged && r.rir.converged;
+  }
+  if (json) {
+    std::printf("{\n  \"example\": \"convection_diffusion\",\n");
+    std::printf("  \"n\": %d, \"scenario\": \"%s\", \"gamma_max\": %g,\n",
+                n, params.scenario.to_string().c_str(), gamma_max);
+    std::printf("  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("    {\"gamma\": %.4f, \"iters_double\": %d, "
+                  "\"iters_ir\": %d, \"relres_double\": %.3e, "
+                  "\"relres_ir\": %.3e, \"converged\": %s}%s\n",
+                  r.gamma, r.rd.iterations, r.rir.iterations,
+                  r.rd.relative_residual, r.rir.relative_residual,
+                  r.rd.converged && r.rir.converged ? "true" : "false",
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"all_converged\": %s\n}\n",
+                all_converged ? "true" : "false");
+  } else {
+    std::printf("\nBoth solvers reach 1e-9 for every γ; the mixed solver's\n"
+                "extra iterations are what the HPG-MxP penalty charges for.\n");
+  }
+  return all_converged ? 0 : 1;
 }

@@ -5,14 +5,17 @@
 //
 //   $ ./mini_benchmark [ranks] [n] [seconds]
 //   $ HPGMX_NX=48 ./mini_benchmark 8
+//   $ HPGMX_RANKS=4 HPGMX_NX=32 ./mini_benchmark
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/options.hpp"
 #include "core/benchmark.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpgmx;
-  const int ranks = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int ranks = argc > 1 ? std::atoi(argv[1])
+                             : static_cast<int>(env_int_or("HPGMX_RANKS", 2));
   BenchParams params = BenchParams::from_env();
   if (argc > 2) {
     params.nx = params.ny = params.nz =

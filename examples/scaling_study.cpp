@@ -2,29 +2,57 @@
 // projection to the paper's exascale regime — a runnable miniature of the
 // experiment campaign behind Fig. 4.
 //
-//   $ ./scaling_study [max_ranks] [n_local]
+//   $ ./scaling_study [max_ranks] [n_local] [--json]
+//   $ HPGMX_RANKS=8 HPGMX_NX=16 ./scaling_study --json
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "core/benchmark.hpp"
+#include "exhibit_common.hpp"
 #include "perf/bandwidth.hpp"
 #include "perf/machine_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpgmx;
-  const int max_ranks = argc > 1 ? std::atoi(argv[1]) : 4;
-  const local_index_t n =
-      argc > 2 ? static_cast<local_index_t>(std::atoi(argv[2])) : 24;
+  const bool json = bench::has_flag(argc, argv, "--json");
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      pos.push_back(argv[i]);
+    }
+  }
+  const int max_ranks =
+      !pos.empty() ? std::atoi(pos[0])
+                   : static_cast<int>(env_int_or("HPGMX_RANKS", 4));
 
-  BenchParams params;
-  params.nx = params.ny = params.nz = n;
-  params.bench_seconds = 0.5;
+  BenchParams params = BenchParams::from_env();
+  if (!env_int("HPGMX_NX").has_value()) {
+    params.nx = params.ny = params.nz = 24;
+  }
+  if (pos.size() > 1) {
+    params.nx = params.ny = params.nz =
+        static_cast<local_index_t>(std::atoi(pos[1]));
+  }
+  const local_index_t n = params.nx;
+  if (!env_double("HPGMX_BENCH_SECONDS").has_value()) {
+    params.bench_seconds = 0.5;
+  }
 
-  std::printf("weak scaling: %d^3 per rank, mxp phase, 1..%d virtual ranks\n",
-              n, max_ranks);
-  std::printf("%8s %10s %14s %16s\n", "ranks", "global", "GF/s total",
-              "ms per iteration");
+  if (!json) {
+    std::printf(
+        "weak scaling: %d^3 per rank, mxp phase, 1..%d virtual ranks\n", n,
+        max_ranks);
+    std::printf("%8s %10s %14s %16s\n", "ranks", "global", "GF/s total",
+                "ms per iteration");
+  }
+  struct Row {
+    int ranks;
+    long long global;
+    double gflops;
+    double ms_per_iter;
+  };
+  std::vector<Row> rows;
   double one_rank_seconds_per_iter = 0;
   double flops_per_iter = 0;
   for (int p = 1; p <= max_ranks; p *= 2) {
@@ -36,8 +64,12 @@ int main(int argc, char** argv) {
       flops_per_iter =
           static_cast<double>(mxp.stats.total_flops()) / mxp.iterations;
     }
-    std::printf("%8d %10lld %14.3f %16.2f\n", p,
-                static_cast<long long>(n) * n * n * p, mxp.raw_gflops, ms_it);
+    rows.push_back({p, static_cast<long long>(n) * n * n * p, mxp.raw_gflops,
+                    ms_it});
+    if (!json) {
+      std::printf("%8d %10lld %14.3f %16.2f\n", p, rows.back().global,
+                  mxp.raw_gflops, ms_it);
+    }
   }
 
   // Project the single-rank profile through the Frontier model.
@@ -50,14 +82,36 @@ int main(int argc, char** argv) {
   prof.halo_messages = 26 * 9;
   prof.halo_bytes = 6.0 * n * n * 8 * 9;
   prof.overlap_efficiency = 0.95;
-  std::printf("\nFrontier-model projection of this profile:\n%8s %14s %12s\n",
-              "nodes", "GF/s per GCD", "efficiency");
-  for (const ScalePoint& pt : project_weak_scaling(
-           frontier, prof, std::vector<int>{1, 64, 1024, 9408})) {
-    std::printf("%8d %14.2f %11.1f%%\n", pt.nodes, pt.gflops_per_rank,
-                pt.efficiency * 100.0);
+  const std::vector<ScalePoint> proj = project_weak_scaling(
+      frontier, prof, std::vector<int>{1, 64, 1024, 9408});
+
+  if (json) {
+    std::printf("{\n  \"example\": \"scaling_study\",\n");
+    std::printf("  \"n_local\": %d, \"max_ranks\": %d,\n", n, max_ranks);
+    std::printf("  \"measured\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::printf("    {\"ranks\": %d, \"global_rows\": %lld, "
+                  "\"gflops\": %.4f, \"ms_per_iteration\": %.4f}%s\n",
+                  rows[i].ranks, rows[i].global, rows[i].gflops,
+                  rows[i].ms_per_iter, i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"frontier_projection\": [\n");
+    for (std::size_t i = 0; i < proj.size(); ++i) {
+      std::printf("    {\"nodes\": %d, \"gflops_per_rank\": %.4f, "
+                  "\"efficiency\": %.4f}%s\n",
+                  proj[i].nodes, proj[i].gflops_per_rank, proj[i].efficiency,
+                  i + 1 < proj.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("\nFrontier-model projection of this profile:\n%8s %14s %12s\n",
+                "nodes", "GF/s per GCD", "efficiency");
+    for (const ScalePoint& pt : proj) {
+      std::printf("%8d %14.2f %11.1f%%\n", pt.nodes, pt.gflops_per_rank,
+                  pt.efficiency * 100.0);
+    }
+    std::printf("\n(see bench/exp_fig4_weak_scaling for the full Fig. 4 "
+                "reproduction)\n");
   }
-  std::printf("\n(see bench/exp_fig4_weak_scaling for the full Fig. 4 "
-              "reproduction)\n");
   return 0;
 }

@@ -46,4 +46,8 @@ double env_double_or(const std::string& name, double fallback) {
   return env_double(name).value_or(fallback);
 }
 
+std::string env_string_or(const std::string& name, std::string fallback) {
+  return env_string(name).value_or(std::move(fallback));
+}
+
 }  // namespace hpgmx

@@ -26,4 +26,7 @@ std::int64_t env_int_or(const std::string& name, std::int64_t fallback);
 /// Double env var with default.
 double env_double_or(const std::string& name, double fallback);
 
+/// String env var with default.
+std::string env_string_or(const std::string& name, std::string fallback);
+
 }  // namespace hpgmx

@@ -55,6 +55,22 @@ class MultiVector {
   AlignedVector<T> data_;
 };
 
+/// column(j) ← scale · v — batched right-hand-side construction for the
+/// many-RHS solver entry points (scale 1 is a plain column copy).
+template <typename T>
+void set_column_scaled(MultiVector<T>& q, int j, std::span<const T> v,
+                       T scale) {
+  auto col = q.column(j);
+  HPGMX_CHECK(v.size() >= col.size());
+  const T* __restrict vv = v.data();
+  T* __restrict cv = col.data();
+  const local_index_t n = q.rows();
+#pragma omp parallel for schedule(static)
+  for (local_index_t i = 0; i < n; ++i) {
+    cv[i] = vv[i] * scale;
+  }
+}
+
 /// h[j] = (Q[:,j], w) for j < k, batched into a single length-k allreduce in
 /// precision T. Local accumulation in T, matching the benchmark's fp32 CGS2
 /// kernels (reorthogonalization absorbs the roundoff — alg. 3 lines 24–26).

@@ -66,6 +66,7 @@ std::vector<ProblemHierarchy> BenchmarkDriver::build_hierarchies(
   pp.ny = params_.ny;
   pp.nz = params_.nz;
   pp.gamma = params_.gamma;
+  pp.scenario = params_.scenario;
   // Generation is pure per-rank work, built only for the ranks this process
   // hosts (all of them in-process, one under MPI); build serially (rank
   // threads would contend for the same cores anyway).

@@ -276,6 +276,20 @@ class ConjugateGradient {
     return result;
   }
 
+  /// Solve the B columns of `b` sequentially against the same operator
+  /// state; bitwise identical to B independent solve() calls (the batch
+  /// amortizes setup, not per-column arithmetic).
+  std::vector<SolveResult> solve_many(Comm& comm, const MultiVector<T>& b,
+                                      MultiVector<T>& x) {
+    HPGMX_CHECK(b.cols() == x.cols());
+    std::vector<SolveResult> results;
+    results.reserve(static_cast<std::size_t>(b.cols()));
+    for (int j = 0; j < b.cols(); ++j) {
+      results.push_back(solve(comm, b.column(j), x.column(j)));
+    }
+    return results;
+  }
+
  private:
   DistOperator<T>* a_;
   SymmetricMultigrid<T>* mg_;

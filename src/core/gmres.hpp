@@ -243,6 +243,22 @@ class Gmres {
     return result;
   }
 
+  /// Solve the B columns of `b` against the same operator state, one after
+  /// another. Each column runs the exact solve() sequence, so the results
+  /// are bitwise identical to B independent single-RHS calls — the batch
+  /// amortizes the expensive setup (hierarchy, coloring, ELL/idx16 packing,
+  /// demotion) that lives in the operator, not the per-column arithmetic.
+  std::vector<SolveResult> solve_many(Comm& comm, const MultiVector<T>& b,
+                                      MultiVector<T>& x) {
+    HPGMX_CHECK(b.cols() == x.cols());
+    std::vector<SolveResult> results;
+    results.reserve(static_cast<std::size_t>(b.cols()));
+    for (int j = 0; j < b.cols(); ++j) {
+      results.push_back(solve(comm, b.column(j), x.column(j)));
+    }
+    return results;
+  }
+
  private:
   DistOperator<T>* a_;
   Multigrid<T>* mg_;

@@ -350,6 +350,24 @@ class GmresIr {
     return result;
   }
 
+  /// Many-RHS entry point: solve the B columns of `b` sequentially against
+  /// the same demoted operator/hierarchy state. Column j's iteration is the
+  /// exact solve() sequence, so results are bitwise identical to B
+  /// independent single-RHS calls; the batch amortizes generation,
+  /// coloring, ELL packing and demotion across all B solves. (A ScaleGuard
+  /// backoff triggered by column j does carry its smaller scale into
+  /// column j+1 — identical to B sequential calls on shared operators.)
+  std::vector<SolveResult> solve_many(Comm& comm, const MultiVector<double>& b,
+                                      MultiVector<double>& x) {
+    HPGMX_CHECK(b.cols() == x.cols());
+    std::vector<SolveResult> results;
+    results.reserve(static_cast<std::size_t>(b.cols()));
+    for (int j = 0; j < b.cols(); ++j) {
+      results.push_back(solve(comm, b.column(j), x.column(j)));
+    }
+    return results;
+  }
+
  private:
   /// Bring the low-precision operators to the guard's current absolute
   /// scale. set_value_scale re-demotes from the double source and is

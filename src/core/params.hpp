@@ -12,6 +12,7 @@
 #include "base/options.hpp"
 #include "base/types.hpp"
 #include "comm/comm_world.hpp"
+#include "grid/scenario.hpp"
 #include "precision/precision.hpp"
 
 namespace hpgmx {
@@ -75,6 +76,11 @@ struct BenchParams {
   double gamma = 0.0;               ///< nonsymmetry (0 = benchmark default)
   std::uint64_t coloring_seed = 42; ///< JPL weight seed
 
+  /// Coefficient scenario the problem generator assembles
+  /// (HPGMX_SCENARIO=poisson|convdiff|aniso|jump|stretched plus per-shape
+  /// knobs — see grid/scenario.hpp). Default reproduces the paper matrix.
+  ScenarioSpec scenario;
+
   OptLevel opt = OptLevel::Optimized;
 
   /// SPMD backend the driver launches ranks on (HPGMX_COMM=self|thread|mpi).
@@ -133,10 +139,12 @@ struct BenchParams {
   /// HPGMX_PRECISION_SCHEDULE (comma-separated per-level formats, e.g.
   /// fp32,bf16,bf16 — overrides HPGMX_PRECISION with its entry format),
   /// HPGMX_OPT (reference|optimized), HPGMX_IDX (auto|16|32),
-  /// HPGMX_COMM (self|thread|mpi), HPGMX_OVERLAP (0|1) and
-  /// HPGMX_BATCH_REDUCE (0|1) environment overrides.
+  /// HPGMX_COMM (self|thread|mpi), HPGMX_OVERLAP (0|1),
+  /// HPGMX_BATCH_REDUCE (0|1) and HPGMX_SCENARIO (+ shape knobs)
+  /// environment overrides.
   static BenchParams from_env() {
     BenchParams p;
+    p.scenario = ScenarioSpec::from_env();
     p.nx = static_cast<local_index_t>(env_int_or("HPGMX_NX", p.nx));
     p.ny = static_cast<local_index_t>(env_int_or("HPGMX_NY", p.ny));
     p.nz = static_cast<local_index_t>(env_int_or("HPGMX_NZ", p.nz));

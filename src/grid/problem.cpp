@@ -109,6 +109,7 @@ Problem generate_problem(const ProcessGrid& pgrid, int rank,
   prob.pgrid = pgrid;
   prob.rank = rank;
   prob.gamma = p.gamma;
+  prob.scenario = p.scenario;
 
   const ProcCoords me = pgrid.coords_of(rank);
   GridBox& box = prob.box;
@@ -166,6 +167,11 @@ Problem generate_problem(const ProcessGrid& pgrid, int rank,
   };
 
   // -- matrix ---------------------------------------------------------------
+  // Scenario edge weights: w ≡ 1 (Poisson/ConvDiff) keeps the paper's
+  // diag-26/off-diag-(−1∓γ) values bit-for-bit; other scenarios scale each
+  // coupling while the diagonal stays the sum of all 26 weights (weak
+  // diagonal dominance, strict at the global boundary).
+  const ScenarioField field(p.scenario, box.gnx, box.gny, box.gnz);
   const local_index_t num_cols = n_owned + halo.n_halo;
   CsrBuilder<double> builder(n_owned, num_cols, n_owned,
                              static_cast<std::int64_t>(n_owned) * 27);
@@ -191,11 +197,12 @@ Problem generate_problem(const ProcessGrid& pgrid, int rank,
               }
               double value;
               if (di == 0 && dj == 0 && dk == 0) {
-                value = 26.0;
+                value = field.diagonal(gi, gj, gk);
               } else {
                 const global_index_t col_gid = box.global_id(ci, cj, ck);
-                value = (col_gid > my_gid) ? (-1.0 - p.gamma)
-                                           : (-1.0 + p.gamma);
+                const double w = field.coupling(gi, gj, gk, di, dj, dk);
+                value = (col_gid > my_gid) ? -(w * (1.0 + p.gamma))
+                                           : -(w * (1.0 - p.gamma));
               }
               local_index_t col;
               const bool owned = ci >= box.ox && ci < box.ox + box.nx &&
@@ -233,6 +240,7 @@ CoarseLevel coarsen(const Problem& fine) {
   cp.ny = fb.ny / 2;
   cp.nz = fb.nz / 2;
   cp.gamma = fine.gamma;
+  cp.scenario = fine.scenario.coarsened();
 
   CoarseLevel level;
   level.problem = generate_problem(fine.pgrid, fine.rank, cp);

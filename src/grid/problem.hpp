@@ -14,12 +14,19 @@
 // point is therefore computable locally, which lets both sides of a halo
 // pair derive identical send/receive orderings (sorted by global index)
 // without negotiation messages.
+//
+// Coefficient fields beyond the uniform benchmark stencil (anisotropy,
+// jumping coefficients, stretched grids) come from grid/scenario.hpp: the
+// assembly below multiplies each off-diagonal by the scenario's symmetric
+// edge weight and sums all 26 weights into the diagonal, so the default
+// Poisson spec reproduces the paper matrix bit-for-bit.
 #pragma once
 
 #include "base/aligned_vector.hpp"
 #include "base/types.hpp"
 #include "comm/halo.hpp"
 #include "grid/process_grid.hpp"
+#include "grid/scenario.hpp"
 #include "sparse/csr.hpp"
 
 namespace hpgmx {
@@ -46,13 +53,17 @@ struct GridBox {
   }
 };
 
-/// Generation parameters: the per-rank grid and the nonsymmetry knob.
+/// Generation parameters: the per-rank grid, the nonsymmetry knob, and the
+/// coefficient scenario.
 struct ProblemParams {
   local_index_t nx = 16;
   local_index_t ny = 16;
   local_index_t nz = 16;
   /// 0 → the symmetric benchmark matrix; >0 → nonsymmetric variant.
   double gamma = 0.0;
+  /// Coefficient field (default: the uniform Poisson benchmark stencil).
+  /// Orthogonal to gamma — the upwind bias composes with any scenario.
+  ScenarioSpec scenario;
 };
 
 /// One rank's share of a generated level: matrix, halo pattern, rhs.
@@ -61,6 +72,7 @@ struct Problem {
   ProcessGrid pgrid{1, 1, 1};
   int rank = 0;
   double gamma = 0.0;
+  ScenarioSpec scenario;
 
   CsrMatrix<double> a;
   HaloPattern halo;

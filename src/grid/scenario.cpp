@@ -1,0 +1,91 @@
+#include "grid/scenario.hpp"
+
+#include <cstdio>
+
+#include "base/options.hpp"
+
+namespace hpgmx {
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::Poisson:
+      return "poisson";
+    case Scenario::ConvDiff:
+      return "convdiff";
+    case Scenario::Aniso:
+      return "aniso";
+    case Scenario::Jump:
+      return "jump";
+    case Scenario::Stretched:
+      return "stretched";
+  }
+  return "poisson";
+}
+
+std::optional<Scenario> parse_scenario(std::string_view s) {
+  for (const Scenario sc : scenario_catalog()) {
+    if (s == scenario_name(sc)) {
+      return sc;
+    }
+  }
+  if (s == "convection-diffusion") {
+    return Scenario::ConvDiff;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Scenario>& scenario_catalog() {
+  static const std::vector<Scenario> catalog{
+      Scenario::Poisson, Scenario::ConvDiff, Scenario::Aniso, Scenario::Jump,
+      Scenario::Stretched};
+  return catalog;
+}
+
+ScenarioSpec ScenarioSpec::coarsened() const {
+  ScenarioSpec c = *this;
+  c.jump_period = std::max<global_index_t>(1, jump_period / 2);
+  c.stretch = stretch * stretch;
+  return c;
+}
+
+std::string ScenarioSpec::to_string() const {
+  char buf[128];
+  switch (kind) {
+    case Scenario::Aniso:
+      std::snprintf(buf, sizeof(buf), "aniso(ey=%.17g,ez=%.17g)", aniso_eps_y,
+                    aniso_eps_z);
+      return buf;
+    case Scenario::Jump:
+      std::snprintf(buf, sizeof(buf), "jump(ratio=%.17g,period=%lld)",
+                    jump_ratio, static_cast<long long>(jump_period));
+      return buf;
+    case Scenario::Stretched:
+      std::snprintf(buf, sizeof(buf), "stretched(s=%.17g)", stretch);
+      return buf;
+    default:
+      return scenario_name(kind);
+  }
+}
+
+ScenarioSpec ScenarioSpec::from_env() {
+  ScenarioSpec spec;
+  if (const auto name = env_string("HPGMX_SCENARIO"); name.has_value()) {
+    const auto parsed = parse_scenario(*name);
+    HPGMX_CHECK_MSG(parsed.has_value(),
+                    "HPGMX_SCENARIO='"
+                        << *name
+                        << "' is not a registered scenario "
+                           "(poisson|convdiff|aniso|jump|stretched)");
+    spec.kind = *parsed;
+  }
+  spec.aniso_eps_y = env_double_or("HPGMX_ANISO_EPSY", spec.aniso_eps_y);
+  spec.aniso_eps_z = env_double_or("HPGMX_ANISO_EPSZ", spec.aniso_eps_z);
+  spec.jump_ratio = env_double_or("HPGMX_JUMP_RATIO", spec.jump_ratio);
+  spec.jump_period = static_cast<global_index_t>(
+      env_int_or("HPGMX_JUMP_PERIOD", spec.jump_period));
+  HPGMX_CHECK_MSG(spec.jump_period >= 1, "HPGMX_JUMP_PERIOD must be >= 1");
+  spec.stretch = env_double_or("HPGMX_STRETCH", spec.stretch);
+  return spec;
+}
+
+}  // namespace hpgmx

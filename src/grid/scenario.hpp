@@ -1,0 +1,178 @@
+// Scenario generator library: named coefficient fields for the 27-point
+// stencil beyond the uniform Poisson/convection-diffusion benchmark matrix.
+//
+// Every scenario assigns a symmetric coupling weight w > 0 to each grid edge
+// (cell, cell+offset); the assembled row is
+//
+//   a(me, nb) = -w(me, nb) · (1 ± γ)      (± by global-index order, the
+//                                          benchmark's nonsymmetry knob)
+//   a(me, me) =  Σ w(me, nb)              (sum over ALL 26 stencil offsets,
+//                                          including out-of-domain neighbors)
+//
+// so γ = 0 keeps every operator symmetric and weakly diagonally dominant
+// (strictly at the global boundary, hence SPD — CG-safe), and the default
+// Poisson weights (w ≡ 1) reproduce the paper's diag-26/off-diag-(−1∓γ)
+// matrix bit-for-bit. The catalog follows the scenarios the spectral-element
+// mixed-precision literature identifies as low-precision stress tests:
+//
+//   poisson    uniform w = 1 (the benchmark matrix)
+//   convdiff   same weights; named intent for a γ > 0 upwind bias
+//   aniso      anisotropic diffusion: y/z couplings scaled by ε_y, ε_z
+//   jump       discontinuous coefficients: checkerboard of period-P blocks
+//              with κ ∈ {1, ratio}, edge weight = ½(κ_a + κ_b)
+//   stretched  geometrically stretched x-spacing h(i) = s^i, edge weight
+//              2/(h(m)+h(m+1)) — a graded boundary-layer grid
+//
+// Scenarios are registered by name so problem descriptors (the service
+// layer) and HPGMX_SCENARIO can request them, and re-discretize under
+// geometric coarsening via `ScenarioSpec::coarsened()`.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/types.hpp"
+
+namespace hpgmx {
+
+enum class Scenario { Poisson, ConvDiff, Aniso, Jump, Stretched };
+
+[[nodiscard]] const char* scenario_name(Scenario s);
+[[nodiscard]] std::optional<Scenario> parse_scenario(std::string_view s);
+/// Every registered scenario, in catalog order (exhibits iterate this).
+[[nodiscard]] const std::vector<Scenario>& scenario_catalog();
+
+/// A scenario plus its shape parameters. Defaults are exact binary
+/// fractions so demoted (fp32/bf16/fp16) operators round identically
+/// across platforms.
+struct ScenarioSpec {
+  Scenario kind = Scenario::Poisson;
+  double aniso_eps_y = 0.125;    ///< aniso: y-coupling scale ε_y
+  double aniso_eps_z = 0.0625;   ///< aniso: z-coupling scale ε_z
+  double jump_ratio = 1024.0;    ///< jump: high-block coefficient κ
+  global_index_t jump_period = 8;///< jump: checkerboard block edge (cells)
+  double stretch = 1.03125;      ///< stretched: spacing ratio s (= 1+1/32)
+
+  /// The spec the geometrically coarsened (2x) grid re-discretizes with:
+  /// block periods halve with the grid and the spacing ratio squares (the
+  /// coarse cell i sits at the fine cell 2i), so coarse operators sample
+  /// the same continuous coefficient field.
+  [[nodiscard]] ScenarioSpec coarsened() const;
+
+  /// Canonical text form ("jump(ratio=...,period=...)") — stable across
+  /// runs, used verbatim inside descriptor cache keys.
+  [[nodiscard]] std::string to_string() const;
+
+  /// HPGMX_SCENARIO (name) plus HPGMX_ANISO_EPSY/EPSZ, HPGMX_JUMP_RATIO/
+  /// PERIOD and HPGMX_STRETCH shape overrides.
+  [[nodiscard]] static ScenarioSpec from_env();
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Evaluates a spec's coupling weights on a concrete global grid. Built once
+/// per generate_problem call; the hot accessors are inline table lookups.
+class ScenarioField {
+ public:
+  ScenarioField(const ScenarioSpec& spec, global_index_t gnx,
+                global_index_t gny, global_index_t gnz)
+      : spec_(spec), gnx_(gnx), gny_(gny), gnz_(gnz) {
+    const double wy = spec.kind == Scenario::Aniso ? spec.aniso_eps_y : 1.0;
+    const double wz = spec.kind == Scenario::Aniso ? spec.aniso_eps_z : 1.0;
+    double sum = 0.0;
+    for (int dk = -1; dk <= 1; ++dk) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          const double w = (dj != 0 ? wy : 1.0) * (dk != 0 ? wz : 1.0);
+          w_[offset_index(di, dj, dk)] = w;
+          if (di != 0 || dj != 0 || dk != 0) {
+            sum += w;
+          }
+        }
+      }
+    }
+    invariant_ =
+        spec.kind != Scenario::Jump && spec.kind != Scenario::Stretched;
+    diag_const_ = sum;
+    if (spec.kind == Scenario::Stretched) {
+      HPGMX_CHECK_MSG(spec.stretch > 0, "stretched: ratio must be positive");
+      // fx_[m+1] = 2/(h(m)+h(m+1)) for the x-edge between cells m and m+1,
+      // m ∈ [-1, gnx-1] (the ±1 slots serve boundary diagonal terms).
+      fx_.resize(static_cast<std::size_t>(gnx) + 1);
+      for (global_index_t m = -1; m < gnx; ++m) {
+        const double h0 = std::pow(spec.stretch, static_cast<double>(m));
+        const double h1 = std::pow(spec.stretch, static_cast<double>(m + 1));
+        fx_[static_cast<std::size_t>(m + 1)] = 2.0 / (h0 + h1);
+      }
+    }
+  }
+
+  /// Symmetric edge weight between (gi,gj,gk) and its (di,dj,dk) neighbor:
+  /// coupling(a, d) == coupling(a+d, -d) for every in-domain pair.
+  [[nodiscard]] double coupling(global_index_t gi, global_index_t gj,
+                                global_index_t gk, int di, int dj,
+                                int dk) const {
+    switch (spec_.kind) {
+      case Scenario::Jump:
+        return 0.5 * (kappa(gi, gj, gk) + kappa(gi + di, gj + dj, gk + dk));
+      case Scenario::Stretched:
+        return di == 0 ? 1.0
+                       : fx_[static_cast<std::size_t>(
+                             std::min(gi, gi + di) + 1)];
+      default:
+        return w_[offset_index(di, dj, dk)];
+    }
+  }
+
+  /// Row diagonal: the sum of all 26 couplings, out-of-domain neighbors
+  /// included — the source of (strict, at the boundary) diagonal dominance.
+  [[nodiscard]] double diagonal(global_index_t gi, global_index_t gj,
+                                global_index_t gk) const {
+    if (invariant_) {
+      return diag_const_;
+    }
+    double sum = 0.0;
+    for (int dk = -1; dk <= 1; ++dk) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          if (di == 0 && dj == 0 && dk == 0) {
+            continue;
+          }
+          sum += coupling(gi, gj, gk, di, dj, dk);
+        }
+      }
+    }
+    return sum;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t offset_index(int di, int dj, int dk) {
+    return static_cast<std::size_t>((di + 1) + 3 * (dj + 1) + 9 * (dk + 1));
+  }
+
+  /// Block coefficient of the jump checkerboard; out-of-domain coordinates
+  /// clamp to the nearest cell so boundary diagonals see the adjacent block.
+  [[nodiscard]] double kappa(global_index_t gi, global_index_t gj,
+                             global_index_t gk) const {
+    const global_index_t ci = std::clamp<global_index_t>(gi, 0, gnx_ - 1);
+    const global_index_t cj = std::clamp<global_index_t>(gj, 0, gny_ - 1);
+    const global_index_t ck = std::clamp<global_index_t>(gk, 0, gnz_ - 1);
+    const global_index_t p = spec_.jump_period;
+    const global_index_t parity = (ci / p + cj / p + ck / p) % 2;
+    return parity != 0 ? spec_.jump_ratio : 1.0;
+  }
+
+  ScenarioSpec spec_;
+  global_index_t gnx_, gny_, gnz_;
+  double w_[27] = {};
+  double diag_const_ = 0.0;
+  bool invariant_ = true;
+  std::vector<double> fx_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,108 @@
+#include "service/operator_cache.hpp"
+
+#include <algorithm>
+
+#include "base/timer.hpp"
+#include "grid/problem.hpp"
+#include "grid/process_grid.hpp"
+
+namespace hpgmx {
+
+std::size_t hierarchy_bytes_estimate(const ProblemHierarchy& h) {
+  std::size_t bytes = 0;
+  for (const Problem& lvl : h.levels) {
+    bytes += lvl.a.values.size() * sizeof(double);
+    bytes += lvl.a.col_idx.size() * sizeof(local_index_t);
+    bytes += lvl.a.row_ptr.size() * sizeof(std::int64_t);
+    bytes += lvl.a.diag.size() * sizeof(double);
+    bytes += lvl.b.size() * sizeof(double);
+  }
+  for (const auto& c2f : h.c2f) {
+    bytes += c2f.size() * sizeof(local_index_t);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const OperatorCache::Entry> OperatorCache::build_entry(
+    const ProblemDescriptor& desc) {
+  HPGMX_CHECK_MSG(desc.ranks >= 1, "descriptor needs at least one rank");
+  WallTimer timer;
+  auto entry = std::make_shared<Entry>();
+  entry->desc = desc;
+  const ProcessGrid pgrid = ProcessGrid::create(desc.ranks);
+  ProblemParams pp;
+  pp.nx = desc.nx;
+  pp.ny = desc.ny;
+  pp.nz = desc.nz;
+  pp.gamma = desc.gamma;
+  pp.scenario = desc.scenario;
+  entry->hierarchy.reserve(static_cast<std::size_t>(desc.ranks));
+  for (int r = 0; r < desc.ranks; ++r) {
+    entry->hierarchy.push_back(build_hierarchy(generate_problem(pgrid, r, pp),
+                                               desc.mg_levels,
+                                               desc.coloring_seed));
+    entry->bytes += hierarchy_bytes_estimate(entry->hierarchy.back());
+  }
+  // Reduce the per-level maxima over ranks here, once: every solve on this
+  // entry then initializes its ScaleGuard/schedule scales collective-free
+  // (all local dims are identical, so level counts agree across ranks).
+  entry->level_max = hierarchy_level_max_abs(entry->hierarchy[0]);
+  for (int r = 1; r < desc.ranks; ++r) {
+    const std::vector<double> lm =
+        hierarchy_level_max_abs(entry->hierarchy[static_cast<std::size_t>(r)]);
+    HPGMX_CHECK(lm.size() == entry->level_max.size());
+    for (std::size_t l = 0; l < lm.size(); ++l) {
+      entry->level_max[l] = std::max(entry->level_max[l], lm[l]);
+    }
+  }
+  entry->build_seconds = timer.seconds();
+  return entry;
+}
+
+std::shared_ptr<const OperatorCache::Entry> OperatorCache::get_or_build(
+    const ProblemDescriptor& desc, bool* cache_hit) {
+  std::string key = desc.canonical();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++stats_.hits;
+    if (cache_hit != nullptr) {
+      *cache_hit = true;
+    }
+    return it->second.entry;
+  }
+  ++stats_.misses;
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
+  }
+  std::shared_ptr<const Entry> entry = build_entry(desc);
+  lru_.push_front(key);
+  map_.emplace(std::move(key), Slot{entry, lru_.begin()});
+  stats_.bytes += entry->bytes;
+  stats_.entries = map_.size();
+  while (map_.size() > max_entries_ && map_.size() > 1) {
+    const std::string& victim = lru_.back();
+    const auto vit = map_.find(victim);
+    stats_.bytes -= vit->second.entry->bytes;
+    map_.erase(vit);
+    lru_.pop_back();
+    ++stats_.evictions;
+    stats_.entries = map_.size();
+  }
+  return entry;
+}
+
+OperatorCacheStats OperatorCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void OperatorCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+}  // namespace hpgmx

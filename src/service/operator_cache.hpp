@@ -1,0 +1,84 @@
+// OperatorCache: memoizes the expensive per-descriptor setup — problem
+// generation, multigrid hierarchy, coloring/orderings, and the global
+// per-level |A| maxima the precision machinery scales from — behind an LRU
+// map keyed by the descriptor's canonical string. A cache hit hands every
+// subsequent solve a shared immutable Entry whose matrices are bit-identical
+// to a fresh build (generation is deterministic), turning the service's
+// warm-path setup cost into a hash-map lookup.
+//
+// Thread safety: one mutex guards the map, the LRU list, and the stats.
+// Builds run under the lock — intentionally: concurrent requests for the
+// SAME descriptor must not build twice, and distinct-descriptor build
+// overlap buys little on an oversubscribed worker pool. Entries are handed
+// out as shared_ptr<const Entry>, so eviction never invalidates an
+// in-flight solve.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/multigrid.hpp"
+#include "service/descriptor.hpp"
+
+namespace hpgmx {
+
+struct OperatorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< estimated resident bytes of cached hierarchies
+};
+
+/// Estimated resident bytes of one rank's hierarchy (matrix arrays + rhs +
+/// injection maps; orderings counted via their permutation vectors).
+[[nodiscard]] std::size_t hierarchy_bytes_estimate(const ProblemHierarchy& h);
+
+class OperatorCache {
+ public:
+  struct Entry {
+    ProblemDescriptor desc;
+    /// One hierarchy per rank (slot r hosts global rank r in-process).
+    std::vector<ProblemHierarchy> hierarchy;
+    /// Per-level max|a_ij|, already reduced over all ranks — solvers can
+    /// initialize ScaleGuards without an allreduce.
+    std::vector<double> level_max;
+    std::size_t bytes = 0;
+    double build_seconds = 0.0;
+  };
+
+  explicit OperatorCache(std::size_t max_entries = 8)
+      : max_entries_(max_entries) {}
+
+  /// Return the cached entry for `desc`, building (and caching) it on a
+  /// miss. `cache_hit`, when non-null, reports which path was taken.
+  [[nodiscard]] std::shared_ptr<const Entry> get_or_build(
+      const ProblemDescriptor& desc, bool* cache_hit = nullptr);
+
+  /// Build an entry without touching the cache (the cold-path reference).
+  [[nodiscard]] static std::shared_ptr<const Entry> build_entry(
+      const ProblemDescriptor& desc);
+
+  [[nodiscard]] OperatorCacheStats stats() const;
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  /// Most-recently-used at the front; keys are canonical strings.
+  std::list<std::string> lru_;
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Slot> map_;
+  OperatorCacheStats stats_;
+};
+
+}  // namespace hpgmx

@@ -1,0 +1,182 @@
+#include "service/solver_service.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "base/timer.hpp"
+#include "blas/multivector.hpp"
+#include "comm/comm_world.hpp"
+#include "core/cg.hpp"
+#include "core/gmres_ir.hpp"
+#include "core/multigrid.hpp"
+#include "precision/scale_guard.hpp"
+
+namespace hpgmx {
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig cfg;
+  cfg.workers = static_cast<int>(env_int_or("HPGMX_SERVICE_WORKERS",
+                                            cfg.workers));
+  HPGMX_CHECK_MSG(cfg.workers >= 1, "HPGMX_SERVICE_WORKERS must be >= 1");
+  cfg.queue_capacity = static_cast<std::size_t>(env_int_or(
+      "HPGMX_SERVICE_QUEUE", static_cast<std::int64_t>(cfg.queue_capacity)));
+  HPGMX_CHECK_MSG(cfg.queue_capacity >= 1, "HPGMX_SERVICE_QUEUE must be >= 1");
+  cfg.cache_entries = static_cast<std::size_t>(env_int_or(
+      "HPGMX_SERVICE_CACHE", static_cast<std::int64_t>(cfg.cache_entries)));
+  HPGMX_CHECK_MSG(cfg.cache_entries >= 1, "HPGMX_SERVICE_CACHE must be >= 1");
+  return cfg;
+}
+
+SolverService::SolverService(ServiceConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_entries) {
+  HPGMX_CHECK(cfg_.workers >= 1 && cfg_.queue_capacity >= 1);
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+std::future<ServiceResult> SolverService::submit(SolveRequest req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return shutting_down_ || queue_.size() < cfg_.queue_capacity;
+  });
+  HPGMX_CHECK_MSG(!shutting_down_, "submit() on a shut-down SolverService");
+  Item item;
+  item.req = std::move(req);
+  std::future<ServiceResult> ticket = item.promise.get_future();
+  queue_.push_back(std::move(item));
+  not_empty_.notify_one();
+  return ticket;
+}
+
+void SolverService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  workers_.clear();
+}
+
+std::size_t SolverService::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and fully drained
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+    }
+    try {
+      item.promise.set_value(execute(item.req));
+    } catch (...) {
+      item.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+ServiceResult SolverService::execute(const SolveRequest& req) {
+  const ProblemDescriptor& d = req.desc;
+  HPGMX_CHECK_MSG(req.num_rhs >= 1, "request needs at least one RHS");
+  ServiceResult out;
+  out.descriptor_hash = d.hash();
+
+  WallTimer setup_timer;
+  bool hit = false;
+  const std::shared_ptr<const OperatorCache::Entry> entry =
+      cache_.get_or_build(d, &hit);
+  out.cache_hit = hit;
+  out.setup_seconds = setup_timer.seconds();
+
+  const BenchParams params = d.to_bench_params();
+  SolverOptions opts;
+  opts.restart = d.restart;
+  opts.max_iters = d.max_iters;
+  opts.tol = d.tol;
+  opts.fused_passes = d.fused;
+  opts.batched_reductions = d.batched_reduce;
+
+  // Each request gets its own SPMD world: Self for one rank, in-process
+  // threads otherwise — concurrent workers' worlds are fully independent.
+  const std::unique_ptr<CommWorld> world = make_comm_world(
+      d.ranks == 1 ? CommBackend::Self : CommBackend::Thread, d.ranks);
+  std::vector<std::vector<SolveResult>> slot_results(
+      static_cast<std::size_t>(world->local_count()));
+  WallTimer solve_timer;
+  world->execute([&](Comm& comm) {
+    const auto slot = static_cast<std::size_t>(world->slot_of(comm.rank()));
+    const ProblemHierarchy& h =
+        entry->hierarchy[static_cast<std::size_t>(comm.rank())];
+    const AlignedVector<double>& b = h.levels[0].b;
+    MultiVector<double> rhs(h.levels[0].a.num_rows, req.num_rhs);
+    MultiVector<double> x(h.levels[0].a.num_rows, req.num_rhs);
+    for (int j = 0; j < req.num_rhs; ++j) {
+      set_column_scaled(rhs, j, std::span<const double>(b.data(), b.size()),
+                        1.0 + req.rhs_spread * j);
+    }
+    const std::span<const double> level_max(entry->level_max.data(),
+                                            entry->level_max.size());
+    std::vector<SolveResult> res;
+    switch (d.solver) {
+      case SolverKind::Gmres: {
+        Multigrid<double> mg(h, params);
+        Gmres<double> solver(&mg.level_op(0), &mg, opts);
+        res = solver.solve_many(comm, rhs, x);
+        break;
+      }
+      case SolverKind::Cg: {
+        HPGMX_CHECK_MSG(d.gamma == 0.0,
+                        "cg requires the symmetric (gamma=0) operator");
+        SymmetricMultigrid<double> mg(h, params);
+        ConjugateGradient<double> solver(&mg.level_op(0), &mg, opts);
+        res = solver.solve_many(comm, rhs, x);
+        break;
+      }
+      case SolverKind::GmresIr: {
+        dispatch_precision(params.inner_precision, [&](auto tag) {
+          using TLow = typename decltype(tag)::type;
+          // entry->level_max is already globally reduced: no allreduce.
+          ScaleGuard guard;
+          guard.initialize(
+              guard_reference_max_abs(level_max, params.precision_schedule),
+              PrecisionTraits<TLow>::max_finite);
+          Multigrid<TLow> mg_low(h, params, /*tag_base=*/100, guard.scale(),
+                                 params.precision_schedule, level_max);
+          DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(),
+                                   params.opt, /*tag=*/90, /*value_scale=*/1.0,
+                                   params.index_width);
+          a_d.set_overlap(params.overlap);
+          GmresIr<TLow> solver(&a_d, &mg_low.level_op(0), &mg_low, opts);
+          solver.set_scale_guard(&guard);
+          res = solver.solve_many(comm, rhs, x);
+        });
+        break;
+      }
+    }
+    slot_results[slot] = std::move(res);
+  });
+  out.solve_seconds = solve_timer.seconds();
+  out.rhs = std::move(slot_results[0]);
+  return out;
+}
+
+}  // namespace hpgmx

@@ -1,0 +1,114 @@
+// SolverService: the solver-as-a-service layer. Clients submit()
+// (descriptor, batch-of-RHS) requests and get a std::future ticket; a pool
+// of worker threads drains a bounded queue, resolves each request's
+// operator/hierarchy through the shared OperatorCache, and runs the
+// requested solver (double GMRES, mixed-precision GMRES-IR, or CG) over all
+// B right-hand sides with one setup. Backpressure: submit() blocks while
+// the queue is at capacity. shutdown() drains outstanding requests, then
+// joins the pool; submitting afterwards throws.
+//
+// Determinism: a request's results depend only on its descriptor and RHS
+// batch — never on queue order, worker identity, or cache state. Cached
+// hierarchies are bit-identical to fresh builds, and the SPMD solve inside
+// a worker uses the same rank-ordered deterministic reductions as the
+// benchmark driver, so N concurrent submissions of one request yield N
+// bitwise-equal results (tests/test_service.cpp asserts this).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/gmres.hpp"
+#include "service/operator_cache.hpp"
+
+namespace hpgmx {
+
+struct ServiceConfig {
+  int workers = 2;                 ///< solver worker threads
+  std::size_t queue_capacity = 16; ///< pending requests before submit() blocks
+  std::size_t cache_entries = 8;   ///< OperatorCache LRU capacity
+
+  /// HPGMX_SERVICE_WORKERS, HPGMX_SERVICE_QUEUE, HPGMX_SERVICE_CACHE.
+  [[nodiscard]] static ServiceConfig from_env();
+};
+
+struct SolveRequest {
+  ProblemDescriptor desc;
+  int num_rhs = 1;
+  /// RHS batch shape: column j solves b_j = (1 + j·rhs_spread) · b where
+  /// b = A·1 is the benchmark RHS (0 = B identical systems).
+  double rhs_spread = 0.0;
+};
+
+struct ServiceResult {
+  std::uint64_t descriptor_hash = 0;
+  bool cache_hit = false;
+  double setup_seconds = 0.0;  ///< operator acquisition (≈0 on a hit)
+  double solve_seconds = 0.0;  ///< solver construction + all-RHS solve wall
+  /// Per-RHS outcome, rank-uniform (every stopping decision is
+  /// allreduce-derived).
+  std::vector<SolveResult> rhs;
+
+  [[nodiscard]] bool all_converged() const {
+    for (const SolveResult& r : rhs) {
+      if (!r.converged) {
+        return false;
+      }
+    }
+    return !rhs.empty();
+  }
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig cfg = {});
+  ~SolverService();
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Enqueue a request; blocks while the queue is full (backpressure).
+  /// The future resolves when a worker finishes the solve (or carries the
+  /// worker's exception). Throws after shutdown().
+  [[nodiscard]] std::future<ServiceResult> submit(SolveRequest req);
+
+  /// Drain every queued request, then stop and join the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// Synchronous solve on the caller's thread, through the same cache and
+  /// execution path as the queue (the exhibits' cold/warm reference).
+  [[nodiscard]] ServiceResult solve_now(const SolveRequest& req) {
+    return execute(req);
+  }
+
+  [[nodiscard]] OperatorCacheStats cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Item {
+    SolveRequest req;
+    std::promise<ServiceResult> promise;
+  };
+
+  void worker_loop();
+  [[nodiscard]] ServiceResult execute(const SolveRequest& req);
+
+  ServiceConfig cfg_;
+  OperatorCache cache_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Item> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hpgmx

@@ -242,7 +242,8 @@ TEST(DistOperator, OverlapEventSemanticsSendOldValues) {
 
 TEST(DistOperator, MotifAccountingIsPathIndependent) {
   // Reference and optimized paths must charge identical model FLOPs.
-  const ProblemParams pp{.nx = 4, .ny = 4, .nz = 4, .gamma = 0.0};
+  const ProblemParams pp{.nx = 4, .ny = 4, .nz = 4, .gamma = 0.0,
+                         .scenario = {}};
   const Problem prob = generate_problem(ProcessGrid(1, 1, 1), 0, pp);
   const OperatorStructure s = build_structure(prob, 42);
   SelfComm comm;

@@ -1,0 +1,234 @@
+// Adaptive-precision GMRES-IR exhibit: the PrecisionController against the
+// static schedules, on every registered coefficient scenario.
+//
+// For each scenario the harness solves the same operator to the 1e-9 outer
+// target four ways — three static references (uniform fp32, the progressive
+// fp32,bf16,bf16 schedule, uniform bf16) and the adaptive controller with
+// its default ladder — and charges each run its *realized* modeled bytes:
+// every executed inner cycle costs one fine-level SpMV plus one V-cycle at
+// the per-level formats that cycle actually ran (ir_inner_iteration_bytes ×
+// the controller's CycleRecords). A static run's bytes are its per-cycle
+// cost times its measured cycle count, so the comparison is
+// iteration-count-aware: a cheap format that needs twice the cycles pays
+// for them.
+//
+// Exit-code gates (CI runs this via bench/run_bench.sh):
+//   - the adaptive run converges to 1e-9 on every scenario,
+//   - adaptive realized bytes <= the best *converged* static run's bytes on
+//     every scenario,
+//   - adaptive realized bytes < uniform fp32's bytes (strictly) on every
+//     scenario.
+//
+//   $ ./exp_adaptive [--json]       # HPGMX_NX / HPGMX_MG_LEVELS scale it
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_ir.hpp"
+#include "exhibit_common.hpp"
+#include "grid/problem.hpp"
+#include "grid/scenario.hpp"
+
+namespace {
+
+using namespace hpgmx;
+
+struct RunRow {
+  std::string label;
+  bool is_adaptive = false;
+  SolveResult result;
+  double bytes = 0.0;
+  int cycles = 0;      ///< inner GMRES cycles executed
+  int promotions = 0;  ///< adaptive only
+  std::string realized;  ///< per-cycle formats, run-length compressed
+};
+
+/// "bf16 x12, fp32 x7" — the realized format sequence, compressed.
+std::string realized_string(const std::vector<Precision>& seq) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    std::size_t j = i;
+    while (j < seq.size() && seq[j] == seq[i]) {
+      ++j;
+    }
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += precision_name(seq[i]);
+    out += " x" + std::to_string(j - i);
+    i = j;
+  }
+  return out;
+}
+
+RunRow run_one(const ProblemHierarchy& h, const BenchParams& params,
+               const std::string& label, bool adaptive) {
+  SelfComm comm;
+  SolverOptions opts;
+  opts.max_iters = 4000;
+  opts.tol = 1e-9;
+  AdaptiveGmresIr solver(h, params, opts);
+  AlignedVector<double> x(h.levels[0].b.size(), 0.0);
+  RunRow row;
+  row.label = label;
+  row.is_adaptive = adaptive;
+  row.result = solver.solve(
+      comm,
+      std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
+      std::span<double>(x.data(), x.size()));
+  row.bytes = solver.realized_bytes();
+  row.cycles = static_cast<int>(solver.controller().records().size());
+  row.promotions = solver.controller().promotions();
+  row.realized = realized_string(solver.controller().realized());
+  return row;
+}
+
+struct ScenarioReport {
+  std::string name;
+  std::vector<RunRow> rows;  ///< statics first, adaptive last
+  double best_static_bytes = 0.0;
+  double fp32_bytes = 0.0;
+
+  [[nodiscard]] const RunRow& adaptive() const { return rows.back(); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::has_flag(argc, argv, "--json");
+  const auto cfg = bench::ExhibitConfig::from_env(/*default_n=*/16);
+
+  if (!json) {
+    bench::banner(
+        "exp_adaptive — adaptive per-iteration precision vs static schedules",
+        "memory-wall thesis: the byte-optimal inner format is the lowest "
+        "one that still converges — discovered at run time, per operator");
+  }
+
+  std::vector<ScenarioReport> reports;
+  bool all_converged = true;
+  bool all_le_static = true;
+  bool all_lt_fp32 = true;
+
+  for (const Scenario sc : scenario_catalog()) {
+    ScenarioReport rep;
+    rep.name = scenario_name(sc);
+
+    BenchParams params = cfg.params;
+    params.scenario = ScenarioSpec{};
+    params.scenario.kind = sc;
+    params.adaptive = AdaptiveConfig{};
+
+    ProblemParams pp;
+    pp.nx = params.nx;
+    pp.ny = params.ny;
+    pp.nz = params.nz;
+    pp.gamma = params.gamma;
+    pp.scenario = params.scenario;
+    const ProblemHierarchy h =
+        build_hierarchy(generate_problem(ProcessGrid(1, 1, 1), 0, pp),
+                        params.mg_levels, params.coloring_seed);
+
+    // -- static references ------------------------------------------------
+    struct StaticCase {
+      const char* label;
+      const char* schedule;  // nullptr = uniform `uniform`
+      Precision uniform;
+    };
+    const StaticCase statics[] = {
+        {"static fp32", nullptr, Precision::Fp32},
+        {"static fp32,bf16,bf16", "fp32,bf16,bf16", Precision::Fp32},
+        {"static bf16", nullptr, Precision::Bf16},
+    };
+    rep.best_static_bytes = std::numeric_limits<double>::infinity();
+    for (const StaticCase& s : statics) {
+      BenchParams p = params;
+      if (s.schedule != nullptr) {
+        p.set_precision_schedule(*parse_precision_schedule(s.schedule));
+      } else {
+        p.set_precision_schedule({});
+        p.inner_precision = s.uniform;
+      }
+      RunRow row = run_one(h, p, s.label, /*adaptive=*/false);
+      if (row.result.converged) {
+        rep.best_static_bytes = std::min(rep.best_static_bytes, row.bytes);
+      }
+      if (std::string(s.label) == "static fp32") {
+        rep.fp32_bytes = row.bytes;
+      }
+      rep.rows.push_back(std::move(row));
+    }
+
+    // -- adaptive ----------------------------------------------------------
+    // Exploratory bf16 start (not gated): shows the promote-on-stagnation
+    // rescue and what the exploration cycles cost on this operator.
+    {
+      BenchParams p = params;
+      p.adaptive.enabled = true;
+      p.adaptive.start = Precision::Bf16;
+      rep.rows.push_back(
+          run_one(h, p, "adaptive bf16-start", /*adaptive=*/false));
+    }
+    BenchParams p = params;
+    p.adaptive.enabled = true;  // default ladder/threshold/patience/start
+    rep.rows.push_back(run_one(h, p, "adaptive", /*adaptive=*/true));
+
+    const RunRow& ad = rep.adaptive();
+    all_converged = all_converged && ad.result.converged;
+    all_le_static = all_le_static && ad.bytes <= rep.best_static_bytes;
+    all_lt_fp32 = all_lt_fp32 && rep.fp32_bytes > 0.0 && ad.bytes < rep.fp32_bytes;
+    reports.push_back(std::move(rep));
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"adaptive\",\n");
+    std::printf("  \"local_grid\": [%d, %d, %d],\n", cfg.params.nx,
+                cfg.params.ny, cfg.params.nz);
+    std::printf("  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const ScenarioReport& rep = reports[i];
+      std::printf("    {\"scenario\": \"%s\", \"runs\": [\n",
+                  rep.name.c_str());
+      for (std::size_t j = 0; j < rep.rows.size(); ++j) {
+        const RunRow& r = rep.rows[j];
+        std::printf(
+            "      {\"label\": \"%s\", \"converged\": %s, \"cycles\": %d, "
+            "\"iterations\": %d, \"promotions\": %d, \"bytes\": %.6g, "
+            "\"realized\": \"%s\"}%s\n",
+            r.label.c_str(), r.result.converged ? "true" : "false", r.cycles,
+            r.result.iterations, r.promotions, r.bytes, r.realized.c_str(),
+            j + 1 < rep.rows.size() ? "," : "");
+      }
+      std::printf("    ], \"best_static_bytes\": %.6g}%s\n",
+                  rep.best_static_bytes, i + 1 < reports.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"gates\": {\"adaptive_converged\": %s, "
+                "\"adaptive_le_best_static\": %s, "
+                "\"adaptive_lt_fp32\": %s}\n",
+                all_converged ? "true" : "false",
+                all_le_static ? "true" : "false",
+                all_lt_fp32 ? "true" : "false");
+    std::printf("}\n");
+  } else {
+    for (const ScenarioReport& rep : reports) {
+      std::printf("\nscenario %-10s (best static %.4g MB)\n",
+                  rep.name.c_str(), rep.best_static_bytes / 1e6);
+      for (const RunRow& r : rep.rows) {
+        std::printf(
+            "  %-22s %s  cycles %4d  iters %5d  bytes %10.4g MB  [%s]\n",
+            r.label.c_str(), r.result.converged ? "conv" : "FAIL", r.cycles,
+            r.result.iterations, r.bytes / 1e6, r.realized.c_str());
+      }
+    }
+    std::printf("\ngates: converged=%d le_best_static=%d lt_fp32=%d\n",
+                all_converged ? 1 : 0, all_le_static ? 1 : 0,
+                all_lt_fp32 ? 1 : 0);
+  }
+
+  return (all_converged && all_le_static && all_lt_fp32) ? 0 : 1;
+}

@@ -163,6 +163,23 @@ struct MgLevelDims {
   return total;
 }
 
+/// Main-memory bytes one inner GMRES-IR Arnoldi step streams under a
+/// per-level value width: the fine-level SpMV (levels[0], at the fine
+/// format and its ELL index width) plus one V-cycle of the preconditioner.
+/// Multiplying by a realized per-cycle iteration count (CycleRecord) is how
+/// the adaptive controller's runs are charged against static schedules —
+/// same formula, per-cycle widths instead of one static set.
+[[nodiscard]] inline double ir_inner_iteration_bytes(
+    std::span<const MgLevelDims> levels,
+    std::span<const std::size_t> value_bytes, int pre_sweeps, int post_sweeps,
+    int coarse_sweeps, std::span<const std::size_t> index_bytes = {}) {
+  const std::size_t ib0 =
+      index_bytes.empty() ? kIndexBytes32 : index_bytes[0];
+  return spmv_bytes(levels[0].nnz, levels[0].rows, value_bytes[0], ib0) +
+         mg_vcycle_bytes(levels, value_bytes, pre_sweeps, post_sweeps,
+                         coarse_sweeps, index_bytes);
+}
+
 /// Network bytes one halo exchange moves, both directions: every boundary
 /// entry sent plus every halo entry received, at the exchanged value width.
 /// `send_entries` is HaloPattern::total_send_count(), `recv_entries` is

@@ -47,6 +47,10 @@ struct SolveResult {
   bool converged = false;
   double relative_residual = 0.0;  ///< true relative residual at exit
   std::vector<double> history;     ///< per-restart true relative residuals
+  /// A cycle observer asked the solver to stop so the caller can re-enter
+  /// at a promoted precision (GmresIr::set_cycle_observer); x holds the
+  /// warm iterate. Always false for Gmres/CG and observer-less GMRES-IR.
+  bool switch_requested = false;
 };
 
 template <typename T>

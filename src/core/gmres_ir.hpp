@@ -31,6 +31,7 @@
 #include "core/gmres.hpp"
 #include "core/multigrid.hpp"
 #include "perf/motifs.hpp"
+#include "precision/adaptive_controller.hpp"
 #include "precision/scale_guard.hpp"
 
 namespace hpgmx {
@@ -59,6 +60,20 @@ class GmresIr {
   /// Without a guard, a non-finite inner basis aborts the solve
   /// (converged = false) instead of burning the iteration budget.
   void set_scale_guard(ScaleGuard* guard) { guard_ = guard; }
+
+  /// Attach a per-cycle observer (the adaptive PrecisionController, or its
+  /// passive recorder). The solver reports the outer relative residual at
+  /// the top of each refinement cycle, the Arnoldi step count of each inner
+  /// cycle, and rank-consistent non-finite detections. When an observation
+  /// returns CycleAction::Promote the solve stops with
+  /// `switch_requested = true` and x holding its current (warm) iterate, so
+  /// the caller can re-enter at a wider format. Every observation point is
+  /// allreduce-derived or collectively voted, so all SPMD ranks observe the
+  /// same sequence and stop together. A null or passive observer leaves the
+  /// iteration bitwise unchanged.
+  void set_cycle_observer(InnerCycleObserver* observer) {
+    observer_ = observer;
+  }
 
   SolveResult solve(Comm& comm, std::span<const double> b,
                     std::span<double> x) {
@@ -128,6 +143,14 @@ class GmresIr {
       if (result.relative_residual < opts_.tol) {
         result.converged = true;
         break;
+      }
+      // relative_residual is allreduce-derived, so the observer's decision
+      // is rank-consistent without another collective.
+      if (observer_ != nullptr &&
+          observer_->observe_residual(result.relative_residual) ==
+              CycleAction::Promote) {
+        result.switch_requested = true;
+        break;  // x_full is copied out below: the re-entry starts warm
       }
       // q1 = (TLow)(r / rho): one fused convert+scale pass (§3.2.5 — no
       // host round-trip, no separate conversion sweep).
@@ -211,7 +234,21 @@ class GmresIr {
           break;
         }
       }
+      // Bytes were streamed for every executed Arnoldi step whether or not
+      // the cycle's correction is later accepted — record them all.
+      if (observer_ != nullptr && k_used > 0) {
+        observer_->observe_inner_iterations(k_used);
+      }
       if (basis_overflowed) {
+        // basis_overflowed is decided on allreduce-derived beta/rho_est, so
+        // promotion (like the guard backoff below) is rank-consistent. A
+        // promoting observer outranks the guard: widening the format fixes
+        // the range problem outright instead of shifting the window.
+        if (observer_ != nullptr &&
+            observer_->observe_non_finite() == CycleAction::Promote) {
+          result.switch_requested = true;
+          break;  // x untouched; the cycle retries at the promoted format
+        }
         if (guard_ == nullptr || guard_->exhausted()) {
           aborted = true;  // unrecoverable: stop burning the budget
           break;
@@ -258,8 +295,13 @@ class GmresIr {
                 : 0,
             ReduceOp::Min);
         if (correction_finite == 0) {
-          // Non-finite correction: never fold it into x. Back the scale off
-          // (guarded) or abandon the solve (unguarded).
+          // Non-finite correction: never fold it into x. Promote (observer),
+          // back the scale off (guarded), or abandon the solve (unguarded).
+          if (observer_ != nullptr &&
+              observer_->observe_non_finite() == CycleAction::Promote) {
+            result.switch_requested = true;
+            break;
+          }
           if (guard_ == nullptr || guard_->exhausted()) {
             aborted = true;
             break;
@@ -314,6 +356,11 @@ class GmresIr {
           // Same recovery as the unbatched vote. x is untouched; r holds
           // the discarded candidate's residual, but have_rho2 == false
           // makes the loop top recompute both from x.
+          if (observer_ != nullptr &&
+              observer_->observe_non_finite() == CycleAction::Promote) {
+            result.switch_requested = true;
+            break;
+          }
           if (guard_ == nullptr || guard_->exhausted()) {
             aborted = true;
             break;
@@ -384,6 +431,7 @@ class GmresIr {
   SolverOptions opts_;
   MotifStats* stats_ = nullptr;
   ScaleGuard* guard_ = nullptr;
+  InnerCycleObserver* observer_ = nullptr;
 };
 
 }  // namespace hpgmx

@@ -13,6 +13,7 @@
 #include "base/types.hpp"
 #include "comm/comm_world.hpp"
 #include "grid/scenario.hpp"
+#include "precision/adaptive_controller.hpp"
 #include "precision/precision.hpp"
 
 namespace hpgmx {
@@ -125,6 +126,13 @@ struct BenchParams {
   /// on every level (the degenerate single-format case).
   PrecisionSchedule precision_schedule;
 
+  /// Adaptive precision control (HPGMX_ADAPTIVE* — see
+  /// precision/adaptive_controller.hpp). When enabled, solvers routed
+  /// through AdaptiveGmresIr ignore the static inner_precision/schedule and
+  /// climb the configured ladder on measured stagnation; off (default) runs
+  /// the static configuration bit-identically.
+  AdaptiveConfig adaptive;
+
   /// Install `s` as the precision schedule, keeping inner_precision in sync
   /// with the schedule's entry format (empty schedule leaves it unchanged).
   void set_precision_schedule(PrecisionSchedule s) {
@@ -140,7 +148,8 @@ struct BenchParams {
   /// fp32,bf16,bf16 — overrides HPGMX_PRECISION with its entry format),
   /// HPGMX_OPT (reference|optimized), HPGMX_IDX (auto|16|32),
   /// HPGMX_COMM (self|thread|mpi), HPGMX_OVERLAP (0|1),
-  /// HPGMX_BATCH_REDUCE (0|1) and HPGMX_SCENARIO (+ shape knobs)
+  /// HPGMX_BATCH_REDUCE (0|1), HPGMX_SCENARIO (+ shape knobs) and
+  /// HPGMX_ADAPTIVE (+ _THRESHOLD/_PATIENCE/_LADDER/_START)
   /// environment overrides.
   static BenchParams from_env() {
     BenchParams p;
@@ -158,6 +167,7 @@ struct BenchParams {
     p.fused = env_int_or("HPGMX_FUSED", p.fused ? 1 : 0) != 0;
     p.inner_precision = precision_from_env("HPGMX_PRECISION", p.inner_precision);
     p.set_precision_schedule(schedule_from_env("HPGMX_PRECISION_SCHEDULE"));
+    p.adaptive = AdaptiveConfig::from_env();
     if (const auto opt = env_string("HPGMX_OPT"); opt.has_value()) {
       const auto parsed = parse_opt_level(*opt);
       HPGMX_CHECK_MSG(parsed.has_value(),

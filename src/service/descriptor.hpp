@@ -67,6 +67,10 @@ struct ProblemDescriptor {
   bool fused = true;
   bool overlap = true;
   bool batched_reduce = true;
+  /// Adaptive precision controller configuration. Part of the cache
+  /// identity: an adaptive run and a static run of the same operator take
+  /// different iterate trajectories, so their results must never alias.
+  AdaptiveConfig adaptive;
 
   /// Canonical text form: a field-order-stable, %.17g-exact rendering.
   /// Equal strings ⟺ equal descriptors (the cache key).
@@ -89,6 +93,8 @@ struct ProblemDescriptor {
     s += scenario.to_string();
     s += ";schedule=";
     s += schedule.empty() ? "-" : schedule.to_string();
+    s += ";adaptive=";
+    s += adaptive.to_string();
     return s;
   }
 
@@ -120,10 +126,13 @@ struct ProblemDescriptor {
     p.index_width = index_width;
     p.inner_precision = inner_precision;
     p.set_precision_schedule(schedule);
+    p.validation_tol = tol;
+    p.validation_max_iters = max_iters;
     p.restart_length = restart;
     p.fused = fused;
     p.overlap = overlap;
     p.batched_reduce = batched_reduce;
+    p.adaptive = adaptive;
     return p;
   }
 
@@ -151,6 +160,7 @@ struct ProblemDescriptor {
     d.fused = p.fused;
     d.overlap = p.overlap;
     d.batched_reduce = p.batched_reduce;
+    d.adaptive = p.adaptive;
     return d;
   }
 };

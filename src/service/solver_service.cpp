@@ -7,6 +7,7 @@
 #include "base/timer.hpp"
 #include "blas/multivector.hpp"
 #include "comm/comm_world.hpp"
+#include "core/adaptive_ir.hpp"
 #include "core/cg.hpp"
 #include "core/gmres_ir.hpp"
 #include "core/multigrid.hpp"
@@ -121,6 +122,8 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
       d.ranks == 1 ? CommBackend::Self : CommBackend::Thread, d.ranks);
   std::vector<std::vector<SolveResult>> slot_results(
       static_cast<std::size_t>(world->local_count()));
+  std::vector<std::vector<Precision>> slot_realized(
+      static_cast<std::size_t>(world->local_count()));
   WallTimer solve_timer;
   world->execute([&](Comm& comm) {
     const auto slot = static_cast<std::size_t>(world->slot_of(comm.rank()));
@@ -152,23 +155,15 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
         break;
       }
       case SolverKind::GmresIr: {
-        dispatch_precision(params.inner_precision, [&](auto tag) {
-          using TLow = typename decltype(tag)::type;
-          // entry->level_max is already globally reduced: no allreduce.
-          ScaleGuard guard;
-          guard.initialize(
-              guard_reference_max_abs(level_max, params.precision_schedule),
-              PrecisionTraits<TLow>::max_finite);
-          Multigrid<TLow> mg_low(h, params, /*tag_base=*/100, guard.scale(),
-                                 params.precision_schedule, level_max);
-          DistOperator<double> a_d(h.levels[0].a, h.structures[0].get(),
-                                   params.opt, /*tag=*/90, /*value_scale=*/1.0,
-                                   params.index_width);
-          a_d.set_overlap(params.overlap);
-          GmresIr<TLow> solver(&a_d, &mg_low.level_op(0), &mg_low, opts);
-          solver.set_scale_guard(&guard);
-          res = solver.solve_many(comm, rhs, x);
-        });
+        // AdaptiveGmresIr builds the exact static stack this case used to
+        // build inline when the controller is off (bit-identical iterates,
+        // tests/test_adaptive.cpp asserts it) and climbs the precision
+        // ladder when it is on. entry->level_max is already globally
+        // reduced: no allreduce, and every rank's controller observes the
+        // same rank-consistent sequence.
+        AdaptiveGmresIr solver(h, params, opts, level_max);
+        res = solver.solve_many(comm, rhs, x);
+        slot_realized[slot] = solver.controller().realized();
         break;
       }
     }
@@ -176,6 +171,7 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
   });
   out.solve_seconds = solve_timer.seconds();
   out.rhs = std::move(slot_results[0]);
+  out.realized_precisions = std::move(slot_realized[0]);
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/gmres.hpp"
+#include "precision/precision.hpp"
 #include "service/operator_cache.hpp"
 
 namespace hpgmx {
@@ -53,6 +54,12 @@ struct ServiceResult {
   /// Per-RHS outcome, rank-uniform (every stopping decision is
   /// allreduce-derived).
   std::vector<SolveResult> rhs;
+  /// Realized per-cycle inner formats of a GMRES-IR request, across the
+  /// whole RHS batch in execution order — what the adaptive controller
+  /// actually ran (static requests report their configured format per
+  /// cycle; Gmres/CG leave this empty). Rank-uniform like every other
+  /// controller decision.
+  std::vector<Precision> realized_precisions;
 
   [[nodiscard]] bool all_converged() const {
     for (const SolveResult& r : rhs) {

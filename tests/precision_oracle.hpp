@@ -1,0 +1,94 @@
+// Scripted-residual convergence oracle for InnerCycleObserver tests.
+//
+// GmresIr reports three kinds of observations to an attached observer:
+// the outer relative residual at the top of each refinement cycle, the
+// Arnoldi step count of each completed inner cycle, and rank-consistent
+// non-finite detections. This harness replays a scripted sequence of those
+// observations in exactly the solver's order — including the re-entry
+// semantics of AdaptiveGmresIr, where a Promote aborts the segment and the
+// recomputed junction residual is re-observed as the next segment's
+// baseline — so controller transition logic (stagnation windows, patience,
+// threshold edges, non-finite promotion, never-demote) is unit-testable
+// without running a solve or even building an operator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "precision/adaptive_controller.hpp"
+
+namespace hpgmx {
+
+/// One scripted refinement cycle, as the solver would report it.
+struct OracleStep {
+  /// Outer relative residual observed at the top of this cycle.
+  double residual = 1.0;
+  /// Arnoldi steps the cycle runs (observed after the inner loop; the
+  /// solver skips the call for an empty cycle, so 0 means "not reported").
+  int inner_iterations = 1;
+  /// The cycle ends in a rank-consistent non-finite detection (reported
+  /// after the step count, matching the solver's hook order).
+  bool non_finite = false;
+};
+
+/// What the replay saw the observer do.
+struct OracleTrace {
+  /// Promote returned from observe_residual (stagnation promotions).
+  int residual_promotes = 0;
+  /// Promote returned from observe_non_finite.
+  int non_finite_promotes = 0;
+  /// A re-observed junction residual produced a second Promote — a
+  /// controller bug (the promoted segment's baseline must not count as a
+  /// stagnant contraction). Tests assert this stays false.
+  bool double_promote = false;
+
+  [[nodiscard]] int promotes() const {
+    return residual_promotes + non_finite_promotes;
+  }
+};
+
+/// Replays `steps` against `obs` with the solver's exact call order:
+/// observe_residual at the cycle top (on Promote the segment aborts and the
+/// same residual is immediately re-observed as the new segment's baseline,
+/// like AdaptiveGmresIr's re-entry), then observe_inner_iterations for the
+/// executed cycle, then observe_non_finite when the script says the cycle
+/// overflowed (a Promote there abandons the cycle's correction but the
+/// replay continues with the next scripted cycle, as the solver does after
+/// re-entry).
+inline OracleTrace drive_oracle(InnerCycleObserver& obs,
+                                std::span<const OracleStep> steps) {
+  OracleTrace trace;
+  for (const OracleStep& s : steps) {
+    if (obs.observe_residual(s.residual) == CycleAction::Promote) {
+      ++trace.residual_promotes;
+      if (obs.observe_residual(s.residual) == CycleAction::Promote) {
+        trace.double_promote = true;
+      }
+    }
+    if (s.inner_iterations > 0) {
+      obs.observe_inner_iterations(s.inner_iterations);
+    }
+    if (s.non_finite &&
+        obs.observe_non_finite() == CycleAction::Promote) {
+      ++trace.non_finite_promotes;
+    }
+  }
+  return trace;
+}
+
+/// Convenience: a geometric residual script contracting by `contraction`
+/// each cycle from `start`, `cycles` long, `k` Arnoldi steps per cycle.
+inline std::vector<OracleStep> geometric_script(int cycles, double contraction,
+                                                double start = 1.0,
+                                                int k = 10) {
+  std::vector<OracleStep> steps;
+  steps.reserve(static_cast<std::size_t>(cycles));
+  double r = start;
+  for (int i = 0; i < cycles; ++i) {
+    steps.push_back(OracleStep{r, k, false});
+    r *= contraction;
+  }
+  return steps;
+}
+
+}  // namespace hpgmx

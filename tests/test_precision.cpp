@@ -16,9 +16,11 @@
 #include "core/gmres_ir.hpp"
 #include "core/multigrid.hpp"
 #include "grid/problem.hpp"
+#include "precision/adaptive_controller.hpp"
 #include "precision/float16.hpp"
 #include "precision/precision.hpp"
 #include "precision/scale_guard.hpp"
+#include "precision_oracle.hpp"
 
 namespace hpgmx {
 namespace {
@@ -409,6 +411,79 @@ TEST(ScaleGuard, BacksOffAndRegrowsToInitialCap) {
   EXPECT_EQ(g.on_good_cycle(), 1.0);  // capped at the initial scale
   EXPECT_EQ(g.scale(), init);
   EXPECT_FALSE(g.exhausted());
+}
+
+TEST(ScaleGuard, RepeatedBackoffExhaustsTheBudget) {
+  ScaleGuardConfig cfg;
+  cfg.max_backoffs = 3;
+  ScaleGuard g(cfg);
+  g.initialize(1.0e6, PrecisionTraits<fp16_t>::max_finite);
+  for (int i = 0; i < 3; ++i) {
+    (void)g.on_overflow();
+    EXPECT_FALSE(g.exhausted()) << "backoff " << i;
+  }
+  (void)g.on_overflow();  // one past the budget
+  EXPECT_TRUE(g.exhausted());
+  EXPECT_EQ(g.overflow_count(), 4);
+  // Exhaustion is about the overflow count, not the scale: good cycles
+  // never un-exhaust the guard.
+  (void)g.on_good_cycle();
+  EXPECT_TRUE(g.exhausted());
+}
+
+TEST(ScaleGuard, OverflowResetsTheRegrowthWindow) {
+  ScaleGuardConfig cfg;
+  cfg.growth_interval = 2;
+  ScaleGuard g(cfg);
+  g.initialize(1.0e6, PrecisionTraits<fp16_t>::max_finite);
+  const double init = g.initial_scale();
+  (void)g.on_overflow();
+  EXPECT_EQ(g.on_good_cycle(), 1.0);  // one clean cycle: window half full
+  (void)g.on_overflow();              // discards the partial window
+  EXPECT_EQ(g.scale(), init * 0.25);
+  EXPECT_EQ(g.on_good_cycle(), 1.0);  // window restarts from zero...
+  EXPECT_EQ(g.on_good_cycle(), 2.0);  // ...and needs the full interval again
+  EXPECT_EQ(g.scale(), init * 0.5);
+}
+
+TEST(ScaleGuard, ControllerPromotionOutranksGuardBackoff) {
+  // GmresIr's non-finite sites ask the cycle observer first and only fall
+  // through to the guard on Continue: a promotion fixes the range problem
+  // outright, so the guard must not also back off (the promoted format
+  // re-equilibrates from scratch). Replay both controller answers against
+  // the same guard, with the oracle's scripted overflow cycle.
+  const std::vector<OracleStep> overflow_cycle = {{1.0, 5, true}};
+  AdaptiveConfig cfg;
+  cfg.enabled = true;
+  cfg.start = Precision::Bf16;
+
+  ScaleGuard guard;
+  guard.initialize(2.6e10, PrecisionTraits<fp16_t>::max_finite);
+  const double scale_before = guard.scale();
+
+  PrecisionController promoting(cfg);  // below the top: Promote wins
+  for (const OracleStep& s : overflow_cycle) {
+    promoting.observe_inner_iterations(s.inner_iterations);
+    if (promoting.observe_non_finite() == CycleAction::Continue) {
+      (void)guard.on_overflow();
+    }
+  }
+  EXPECT_EQ(promoting.promotions(), 1);
+  EXPECT_EQ(guard.scale(), scale_before);  // guard untouched
+  EXPECT_EQ(guard.overflow_count(), 0);
+
+  cfg.ladder = {Precision::Bf16};  // single rung: the controller is at top
+  cfg.start.reset();
+  PrecisionController pinned_at_top(cfg);
+  for (const OracleStep& s : overflow_cycle) {
+    pinned_at_top.observe_inner_iterations(s.inner_iterations);
+    if (pinned_at_top.observe_non_finite() == CycleAction::Continue) {
+      (void)guard.on_overflow();
+    }
+  }
+  EXPECT_EQ(pinned_at_top.promotions(), 0);
+  EXPECT_EQ(guard.scale(), scale_before * 0.5);  // backoff fell to the guard
+  EXPECT_EQ(guard.overflow_count(), 1);
 }
 
 TEST(ScaleGuard, SetValueScaleRedemotesFromSourceAndIsIdempotent) {

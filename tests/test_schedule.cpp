@@ -62,6 +62,23 @@ TEST(PrecisionSchedule, ClampsBeyondItsLastEntry) {
   EXPECT_TRUE(parse_precision_schedule("bf16,bf16")->uniform());
 }
 
+TEST(PrecisionSchedule, EnvUnsetAndEmptyYieldTheUniformSchedule) {
+  // Unset and set-but-empty both mean "no override": the empty schedule,
+  // which keeps the single-format inner_precision path.
+  unsetenv("HPGMX_TEST_SCHEDULE");
+  EXPECT_TRUE(schedule_from_env("HPGMX_TEST_SCHEDULE").empty());
+  setenv("HPGMX_TEST_SCHEDULE", "", /*overwrite=*/1);
+  EXPECT_TRUE(schedule_from_env("HPGMX_TEST_SCHEDULE").empty());
+  unsetenv("HPGMX_TEST_SCHEDULE");
+}
+
+TEST(PrecisionSchedule, EnvParsingIsCaseInsensitive) {
+  setenv("HPGMX_TEST_SCHEDULE", "FP32,Bf16,BFLOAT16,Half", /*overwrite=*/1);
+  const PrecisionSchedule s = schedule_from_env("HPGMX_TEST_SCHEDULE");
+  EXPECT_EQ(s.to_string(), "fp32,bf16,bf16,fp16");  // normalized lowercase
+  unsetenv("HPGMX_TEST_SCHEDULE");
+}
+
 TEST(PrecisionSchedule, EnvParsingNamesTheAcceptedTokens) {
   setenv("HPGMX_TEST_SCHEDULE", "fp32,notaformat", /*overwrite=*/1);
   try {

@@ -282,6 +282,38 @@ TEST(SolverService, CgAndGmresKindsSolveTheSymmetricProblem) {
   }
 }
 
+TEST(SolverService, GmresIrReportsTheRealizedPrecisionSequence) {
+  SolverService service(ServiceConfig{1, 4, 4});
+
+  // Static GMRES-IR: every executed inner cycle ran the configured format.
+  SolveRequest req;
+  req.desc = small_descriptor();
+  req.desc.solver = SolverKind::GmresIr;
+  req.num_rhs = 2;
+  const ServiceResult stat = service.solve_now(req);
+  EXPECT_TRUE(stat.all_converged());
+  ASSERT_FALSE(stat.realized_precisions.empty());
+  for (const Precision p : stat.realized_precisions) {
+    EXPECT_EQ(p, req.desc.inner_precision);
+  }
+
+  // Adaptive GMRES-IR: a different cache identity, and the realized
+  // sequence reports what the controller ran (the auto start rung here).
+  req.desc.adaptive.enabled = true;
+  EXPECT_NE(req.desc.hash(), small_descriptor().hash());
+  const ServiceResult adap = service.solve_now(req);
+  EXPECT_TRUE(adap.all_converged());
+  ASSERT_FALSE(adap.realized_precisions.empty());
+  EXPECT_EQ(adap.realized_precisions.front(), Precision::Fp32);
+
+  // Plain double GMRES has no inner-format trajectory to report.
+  req.desc.adaptive = AdaptiveConfig{};
+  req.desc.solver = SolverKind::Gmres;
+  const ServiceResult plain = service.solve_now(req);
+  EXPECT_TRUE(plain.all_converged());
+  EXPECT_TRUE(plain.realized_precisions.empty());
+}
+
 // ----------------------------------------------------------------- many-RHS
 
 TEST(ManyRhs, GmresIrBatchMatchesIndependentSolvesBitwise) {

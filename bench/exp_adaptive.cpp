@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
         p.inner_precision = s.uniform;
       }
       RunRow row = run_one(h, p, s.label, /*adaptive=*/false);
-      if (row.result.converged) {
+      if (row.result.converged()) {
         rep.best_static_bytes = std::min(rep.best_static_bytes, row.bytes);
       }
       if (std::string(s.label) == "static fp32") {
@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
     rep.rows.push_back(run_one(h, p, "adaptive", /*adaptive=*/true));
 
     const RunRow& ad = rep.adaptive();
-    all_converged = all_converged && ad.result.converged;
+    all_converged = all_converged && ad.result.converged();
     all_le_static = all_le_static && ad.bytes <= rep.best_static_bytes;
     all_lt_fp32 = all_lt_fp32 && rep.fp32_bytes > 0.0 && ad.bytes < rep.fp32_bytes;
     reports.push_back(std::move(rep));
@@ -199,7 +199,7 @@ int main(int argc, char** argv) {
             "      {\"label\": \"%s\", \"converged\": %s, \"cycles\": %d, "
             "\"iterations\": %d, \"promotions\": %d, \"bytes\": %.6g, "
             "\"realized\": \"%s\"}%s\n",
-            r.label.c_str(), r.result.converged ? "true" : "false", r.cycles,
+            r.label.c_str(), r.result.converged() ? "true" : "false", r.cycles,
             r.result.iterations, r.promotions, r.bytes, r.realized.c_str(),
             j + 1 < rep.rows.size() ? "," : "");
       }
@@ -221,7 +221,7 @@ int main(int argc, char** argv) {
       for (const RunRow& r : rep.rows) {
         std::printf(
             "  %-22s %s  cycles %4d  iters %5d  bytes %10.4g MB  [%s]\n",
-            r.label.c_str(), r.result.converged ? "conv" : "FAIL", r.cycles,
+            r.label.c_str(), r.result.converged() ? "conv" : "FAIL", r.cycles,
             r.result.iterations, r.bytes / 1e6, r.realized.c_str());
       }
     }

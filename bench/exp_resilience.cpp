@@ -1,0 +1,294 @@
+// Resilience exhibit: the deadline-aware fault-tolerant service under
+// stress — deadline hit behaviour, retry-with-promotion, and deterministic
+// chaos injection (docs/RESILIENCE.md).
+//
+//   deadline  requests with an unreachable tolerance and a short wall-clock
+//             budget: every one must exit cooperatively with status
+//             deadline_exceeded (the rank-consistent trip lane), never hang
+//             or throw
+//   retry     the fragile fp16 checkerboard-jump request: non_finite at
+//             fp16, served converged by the promoted bf16 retry with the
+//             ladder recorded in attempts; with retry disabled the raw
+//             failure surfaces
+//   chaos     the same request solved fault-free and twice under the chaos
+//             layer (same seed): bit-identical results — chaos perturbs
+//             timing and ordering, never values
+//   latency   a warm-cache request stream under chaos, p50/p99 latency
+//
+// Exit-code gates (CI runs this via bench/run_bench.sh):
+//   - every deadline-bounded request reports deadline_exceeded,
+//   - the retried fp16 request converges with attempts = [fp16 non_finite,
+//     bf16 converged] and the unretried one stays non_finite,
+//   - chaos runs are bit-identical to each other and to the fault-free run,
+//   - the chaotic request stream converges everywhere.
+//
+//   $ ./exp_resilience [--json]
+//
+// Env: HPGMX_NX / HPGMX_RANKS scale the deadline/latency descriptor;
+// HPGMX_CHAOS / HPGMX_CHAOS_SEED override the built-in chaos spec;
+// HPGMX_DEADLINE_MS, HPGMX_RESILIENCE_REQUESTS size the suites. The retry
+// exhibit is a fixed 8^3 descriptor — it demonstrates the taxonomy, not
+// scale.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/timer.hpp"
+#include "exhibit_common.hpp"
+#include "service/solver_service.hpp"
+
+namespace {
+
+using namespace hpgmx;
+
+double percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const auto n = static_cast<double>(sorted_ms.size());
+  const auto idx = static_cast<std::size_t>(
+      std::min(n - 1.0, std::max(0.0, q * n - 0.5)));
+  return sorted_ms[idx];
+}
+
+/// The fragile retry exhibit: a coefficient jump of 1e6 across a period-4
+/// checkerboard overwhelms fp16 even through the ScaleGuard (backoff budget
+/// exhausts -> non_finite) but sits inside bf16's exponent range.
+SolveRequest fragile_fp16_request() {
+  SolveRequest req;
+  req.desc.nx = req.desc.ny = req.desc.nz = 8;
+  req.desc.mg_levels = 3;
+  req.desc.scenario.kind = Scenario::Jump;
+  req.desc.scenario.jump_period = 4;
+  req.desc.scenario.jump_ratio = 1e6;
+  req.desc.solver = SolverKind::GmresIr;
+  req.desc.inner_precision = Precision::Fp16;
+  req.desc.tol = 1e-9;
+  req.desc.max_iters = 300;
+  return req;
+}
+
+const char* status_name(SolveStatus s) {
+  return solve_status_name(s).data();  // views of NUL-terminated literals
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hpgmx::bench::ExhibitConfig;
+  using hpgmx::bench::has_flag;
+  const bool json = has_flag(argc, argv, "--json");
+
+  const ExhibitConfig cfg = ExhibitConfig::from_env(/*default_n=*/16);
+  const ProblemDescriptor desc = ProblemDescriptor::from_bench_params(
+      cfg.params, cfg.ranks, SolverKind::GmresIr);
+
+  // The exhibit always exercises chaos: the env spec when given, a built-in
+  // deterministic one otherwise (tiny sleeps keep the suite fast).
+  ChaosConfig chaos = ChaosConfig::from_env();
+  if (!chaos.enabled()) {
+    const std::uint64_t seed = chaos.seed;  // HPGMX_CHAOS_SEED still applies
+    chaos = ChaosConfig::parse(
+        "delay:0.25,reorder:0.5,slow_rank:0,delay_us:1,slow_us:1");
+    chaos.seed = seed;
+  }
+
+  const double deadline_ms =
+      static_cast<double>(env_int_or("HPGMX_DEADLINE_MS", 20));
+  const int deadline_requests =
+      static_cast<int>(env_int_or("HPGMX_RESILIENCE_DEADLINES", 6));
+  const int stream_requests =
+      static_cast<int>(env_int_or("HPGMX_RESILIENCE_REQUESTS", 16));
+
+  if (!json) {
+    hpgmx::bench::banner(
+        "exp_resilience — deadlines, retry-with-promotion, and chaos "
+        "injection over the solver service",
+        "fault-tolerant serving of the HPG-MxP mixed-precision pipeline");
+    std::printf("descriptor: %s\nchaos: %s  seed: %llu\n",
+                desc.canonical().c_str(), chaos.to_string().c_str(),
+                static_cast<unsigned long long>(chaos.seed));
+  }
+
+  // -- deadline suite: unreachable tolerance, short wall budget ------------
+  int deadline_hits = 0;
+  std::vector<double> deadline_ms_observed;
+  {
+    ServiceConfig scfg;
+    scfg.chaos = chaos;
+    SolverService svc(scfg);
+    for (int i = 0; i < deadline_requests; ++i) {
+      SolveRequest req;
+      req.desc = desc;
+      req.desc.tol = 1e-30;  // unreachable: only the deadline can stop it
+      req.desc.max_iters = 1000000;
+      req.deadline = Deadline::after(deadline_ms / 1e3);
+      WallTimer t;
+      const ServiceResult res = svc.solve_now(req);
+      deadline_ms_observed.push_back(t.seconds() * 1e3);
+      if (res.status == SolveStatus::DeadlineExceeded) {
+        ++deadline_hits;
+      }
+    }
+  }
+  const bool gate_deadline = deadline_hits == deadline_requests;
+
+  // -- retry suite: promoted re-execution of the fragile fp16 request ------
+  ServiceResult retried;
+  ServiceResult unretried;
+  {
+    ServiceConfig scfg;
+    scfg.chaos = chaos;
+    SolverService svc(scfg);
+    retried = svc.solve_now(fragile_fp16_request());
+
+    ServiceConfig no_retry = scfg;
+    no_retry.retry.enabled = false;
+    SolverService raw(no_retry);
+    unretried = raw.solve_now(fragile_fp16_request());
+  }
+  const bool gate_retry =
+      retried.status == SolveStatus::Converged &&
+      retried.attempts.size() == 2 &&
+      retried.attempts[0].precision == Precision::Fp16 &&
+      retried.attempts[0].status == SolveStatus::NonFinite &&
+      retried.attempts[1].precision == Precision::Bf16 &&
+      retried.attempts[1].status == SolveStatus::Converged &&
+      unretried.status == SolveStatus::NonFinite &&
+      unretried.attempts.size() == 1;
+
+  // -- chaos determinism: fault-free vs two same-seed chaotic runs ---------
+  ServiceResult clean;
+  ServiceResult chaotic_a;
+  ServiceResult chaotic_b;
+  {
+    SolveRequest req;
+    req.desc = desc;
+    ServiceConfig plain_cfg;
+    SolverService plain(plain_cfg);
+    clean = plain.solve_now(req);
+
+    ServiceConfig scfg;
+    scfg.chaos = chaos;
+    SolverService first(scfg);
+    chaotic_a = first.solve_now(req);
+    SolverService second(scfg);
+    chaotic_b = second.solve_now(req);
+  }
+  auto bit_identical = [](const ServiceResult& a, const ServiceResult& b) {
+    if (a.status != b.status || a.rhs.size() != b.rhs.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < a.rhs.size(); ++j) {
+      if (a.rhs[j].iterations != b.rhs[j].iterations ||
+          a.rhs[j].relative_residual != b.rhs[j].relative_residual) {
+        return false;
+      }
+    }
+    return a.realized_precisions == b.realized_precisions;
+  };
+  const bool gate_chaos = clean.status == SolveStatus::Converged &&
+                          bit_identical(chaotic_a, chaotic_b) &&
+                          bit_identical(chaotic_a, clean);
+
+  // -- latency: warm-cache request stream under chaos ----------------------
+  std::vector<double> stream_ms;
+  bool stream_converged = true;
+  {
+    ServiceConfig scfg;
+    scfg.chaos = chaos;
+    SolverService svc(scfg);
+    for (int i = 0; i < stream_requests; ++i) {
+      SolveRequest req;
+      req.desc = desc;
+      WallTimer t;
+      const ServiceResult res = svc.solve_now(req);
+      stream_ms.push_back(t.seconds() * 1e3);
+      stream_converged = stream_converged && res.all_converged();
+    }
+  }
+  const bool gate_stream = stream_converged;
+
+  const bool ok = gate_deadline && gate_retry && gate_chaos && gate_stream;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"resilience\",\n");
+    std::printf(
+        "  \"config\": {\"nx\": %d, \"ranks\": %d, \"chaos\": \"%s\", "
+        "\"chaos_seed\": %llu, \"deadline_ms\": %.1f, "
+        "\"descriptor_hash\": \"%016llx\"},\n",
+        static_cast<int>(cfg.params.nx), cfg.ranks, chaos.to_string().c_str(),
+        static_cast<unsigned long long>(chaos.seed), deadline_ms,
+        static_cast<unsigned long long>(desc.hash()));
+    std::printf(
+        "  \"deadline\": {\"requests\": %d, \"hits\": %d, \"hit_rate\": "
+        "%.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f},\n",
+        deadline_requests, deadline_hits,
+        deadline_requests > 0
+            ? static_cast<double>(deadline_hits) / deadline_requests
+            : 0.0,
+        percentile(deadline_ms_observed, 0.50),
+        percentile(deadline_ms_observed, 0.99));
+    std::printf("  \"retry\": {\"served_status\": \"%s\", \"attempts\": [\n",
+                status_name(retried.status));
+    for (std::size_t i = 0; i < retried.attempts.size(); ++i) {
+      const AttemptRecord& a = retried.attempts[i];
+      std::printf(
+          "    {\"precision\": \"%s\", \"status\": \"%s\", \"iterations\": "
+          "%d, \"relres\": %.3e}%s\n",
+          std::string(precision_name(a.precision)).c_str(),
+          status_name(a.status), a.iterations, a.relative_residual,
+          i + 1 < retried.attempts.size() ? "," : "");
+    }
+    std::printf("  ], \"unretried_status\": \"%s\"},\n",
+                status_name(unretried.status));
+    std::printf(
+        "  \"chaos_determinism\": {\"clean_iterations\": %d, "
+        "\"chaotic_iterations\": %d, \"bit_identical\": %s},\n",
+        clean.rhs.empty() ? -1 : clean.rhs[0].iterations,
+        chaotic_a.rhs.empty() ? -1 : chaotic_a.rhs[0].iterations,
+        gate_chaos ? "true" : "false");
+    std::printf(
+        "  \"latency\": {\"requests\": %d, \"p50_ms\": %.3f, \"p99_ms\": "
+        "%.3f, \"all_converged\": %s},\n",
+        stream_requests, percentile(stream_ms, 0.50),
+        percentile(stream_ms, 0.99), stream_converged ? "true" : "false");
+    std::printf(
+        "  \"gates\": {\"deadlines_hit\": %s, \"retry_promotes\": %s, "
+        "\"chaos_bit_identical\": %s, \"stream_converges\": %s}\n",
+        gate_deadline ? "true" : "false", gate_retry ? "true" : "false",
+        gate_chaos ? "true" : "false", gate_stream ? "true" : "false");
+    std::printf("}\n");
+  } else {
+    std::printf("\ndeadline  : %d/%d requests exited deadline_exceeded "
+                "(budget %.0f ms, p50 %.1f ms, p99 %.1f ms)\n",
+                deadline_hits, deadline_requests, deadline_ms,
+                percentile(deadline_ms_observed, 0.50),
+                percentile(deadline_ms_observed, 0.99));
+    std::printf("retry     : served %s via", status_name(retried.status));
+    for (const AttemptRecord& a : retried.attempts) {
+      std::printf(" [%s %s %d it]",
+                  std::string(precision_name(a.precision)).c_str(),
+                  status_name(a.status), a.iterations);
+    }
+    std::printf("  (no retry: %s)\n", status_name(unretried.status));
+    std::printf("chaos     : clean %d iters vs chaotic %d iters — %s\n",
+                clean.rhs.empty() ? -1 : clean.rhs[0].iterations,
+                chaotic_a.rhs.empty() ? -1 : chaotic_a.rhs[0].iterations,
+                gate_chaos ? "bit-identical" : "MISMATCH");
+    std::printf("latency   : %d requests under chaos, p50 %.2f ms, p99 %.2f "
+                "ms, all converged: %s\n",
+                stream_requests, percentile(stream_ms, 0.50),
+                percentile(stream_ms, 0.99),
+                stream_converged ? "yes" : "NO");
+    std::printf("\ngates: deadlines_hit=%s retry_promotes=%s "
+                "chaos_bit_identical=%s stream_converges=%s\n",
+                gate_deadline ? "pass" : "FAIL",
+                gate_retry ? "pass" : "FAIL", gate_chaos ? "pass" : "FAIL",
+                gate_stream ? "pass" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}

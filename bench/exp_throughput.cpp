@@ -187,9 +187,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(desc.hash()));
     std::printf(
         "  \"cold\": {\"setup_seconds\": %.6f, \"solve_seconds\": %.6f, "
-        "\"solves_per_sec\": %.3f, \"iterations\": %d, \"relres\": %.3e},\n",
+        "\"solves_per_sec\": %.3f, \"iterations\": %d, \"relres\": %.3e, "
+        "\"status\": \"%s\", \"attempts\": %zu},\n",
         cold.res.setup_seconds, cold.res.solve_seconds, cold.solves_per_sec(),
-        cold.res.rhs[0].iterations, cold.res.rhs[0].relative_residual);
+        cold.res.rhs[0].iterations, cold.res.rhs[0].relative_residual,
+        solve_status_name(cold.res.status).data(), cold.res.attempts.size());
     std::printf("  \"batches\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const BatchRow& r = rows[i];
@@ -197,10 +199,12 @@ int main(int argc, char** argv) {
           "    {\"batch\": %d, \"cache_hit\": %s, \"setup_seconds\": %.6f, "
           "\"solve_seconds\": %.6f, \"solves_per_sec\": %.3f, "
           "\"iterations_per_rhs\": %d, \"max_relres\": %.3e, "
+          "\"status\": \"%s\", \"attempts\": %zu, "
           "\"all_converged\": %s}%s\n",
           r.batch, r.res.cache_hit ? "true" : "false", r.res.setup_seconds,
           r.res.solve_seconds, r.solves_per_sec(), r.res.rhs[0].iterations,
-          r.max_relres(), r.res.all_converged() ? "true" : "false",
+          r.max_relres(), solve_status_name(r.res.status).data(),
+          r.res.attempts.size(), r.res.all_converged() ? "true" : "false",
           i + 1 < rows.size() ? "," : "");
     }
     std::printf("  ],\n");
@@ -214,8 +218,10 @@ int main(int argc, char** argv) {
       const ScenarioRow& s = scenario_rows[i];
       std::printf(
           "    {\"name\": \"%s\", \"iterations_per_rhs\": %d, "
-          "\"max_relres\": %.3e, \"all_converged\": %s}%s\n",
+          "\"max_relres\": %.3e, \"status\": \"%s\", \"attempts\": %zu, "
+          "\"all_converged\": %s}%s\n",
           s.name.c_str(), s.res.rhs[0].iterations, s.max_relres,
+          solve_status_name(s.res.status).data(), s.res.attempts.size(),
           s.res.all_converged() ? "true" : "false",
           i + 1 < scenario_rows.size() ? "," : "");
     }

@@ -1,31 +1,37 @@
 #!/usr/bin/env sh
 # Produce the benchmark-artifact JSONs:
 #
-#   bench/run_bench.sh [kernels.json] [throughput.json] [adaptive.json]
+#   bench/run_bench.sh [kernels.json] [throughput.json] [adaptive.json] \
+#                      [resilience.json]
 #
 #   BENCH_kernels.json     — kernel microbenchmarks (micro_kernels --json)
 #   BENCH_throughput.json  — solver-service throughput exhibit
 #                            (exp_throughput --json)
 #   BENCH_adaptive.json    — adaptive-precision GMRES-IR vs static schedules
 #                            (exp_adaptive --json)
+#   BENCH_resilience.json  — deadlines, retry-with-promotion, chaos
+#                            determinism (exp_resilience --json)
 #
 # Env: BUILD_DIR (default: build), plus the usual HPGMX_* scale knobs
 # (HPGMX_NX, HPGMX_BENCH_SECONDS, HPGMX_SERVICE_WORKERS, HPGMX_BATCH_MAX,
-# ...). Exits nonzero when any gate fails — the 16-bit byte-model gates of
-# micro_kernels, the cache-hit / batched-throughput / convergence gates of
-# exp_throughput, and the adaptive-bytes-vs-static gates of exp_adaptive —
-# so CI can call this directly.
+# HPGMX_CHAOS, HPGMX_DEADLINE_MS, ...). Exits nonzero when any gate fails —
+# the 16-bit byte-model gates of micro_kernels, the cache-hit /
+# batched-throughput / convergence gates of exp_throughput, the
+# adaptive-bytes-vs-static gates of exp_adaptive, and the deadline / retry /
+# chaos-determinism gates of exp_resilience — so CI can call this directly.
 set -eu
 
 BUILD_DIR=${BUILD_DIR:-build}
 KERNELS_OUT=${1:-BENCH_kernels.json}
 THROUGHPUT_OUT=${2:-BENCH_throughput.json}
 ADAPTIVE_OUT=${3:-BENCH_adaptive.json}
+RESILIENCE_OUT=${4:-BENCH_resilience.json}
 KERNELS_BIN="$BUILD_DIR/bench/micro_kernels"
 THROUGHPUT_BIN="$BUILD_DIR/bench/exp_throughput"
 ADAPTIVE_BIN="$BUILD_DIR/bench/exp_adaptive"
+RESILIENCE_BIN="$BUILD_DIR/bench/exp_resilience"
 
-for bin in "$KERNELS_BIN" "$THROUGHPUT_BIN" "$ADAPTIVE_BIN"; do
+for bin in "$KERNELS_BIN" "$THROUGHPUT_BIN" "$ADAPTIVE_BIN" "$RESILIENCE_BIN"; do
   if [ ! -x "$bin" ]; then
     echo "run_bench.sh: $bin not found — build first (cmake --build $BUILD_DIR)" >&2
     exit 2
@@ -40,3 +46,6 @@ echo "run_bench.sh: wrote $THROUGHPUT_OUT" >&2
 
 "$ADAPTIVE_BIN" --json > "$ADAPTIVE_OUT"
 echo "run_bench.sh: wrote $ADAPTIVE_OUT" >&2
+
+"$RESILIENCE_BIN" --json > "$RESILIENCE_OUT"
+echo "run_bench.sh: wrote $RESILIENCE_OUT" >&2

@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
       std::printf("%8.2f %10d %10d %10.3f %12.2e %14.2e\n", gamma,
                   rd.iterations, rir.iterations, std::min(1.0, ratio),
                   rd.relative_residual, rir.relative_residual);
-      if (!rd.converged || !rir.converged) {
+      if (!rd.converged() || !rir.converged()) {
         std::printf("  (warning: not converged at gamma=%.2f)\n", gamma);
       }
     }
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
 
   bool all_converged = true;
   for (const Row& r : rows) {
-    all_converged = all_converged && r.rd.converged && r.rir.converged;
+    all_converged = all_converged && r.rd.converged() && r.rir.converged();
   }
   if (json) {
     std::printf("{\n  \"example\": \"convection_diffusion\",\n");
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
                   "\"relres_ir\": %.3e, \"converged\": %s}%s\n",
                   r.gamma, r.rd.iterations, r.rir.iterations,
                   r.rd.relative_residual, r.rir.relative_residual,
-                  r.rd.converged && r.rir.converged ? "true" : "false",
+                  r.rd.converged() && r.rir.converged() ? "true" : "false",
                   i + 1 < rows.size() ? "," : "");
     }
     std::printf("  ],\n  \"all_converged\": %s\n}\n",

@@ -118,5 +118,5 @@ int main(int argc, char** argv) {
               static_cast<double>(res_d.iterations) / res_ir.iterations,
               std::min(1.0, static_cast<double>(res_d.iterations) /
                                 res_ir.iterations));
-  return res_d.converged && res_ir.converged ? 0 : 1;
+  return res_d.converged() && res_ir.converged() ? 0 : 1;
 }

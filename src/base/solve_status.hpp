@@ -1,0 +1,39 @@
+// SolveStatus: the structured failure taxonomy every solve reports instead
+// of a bare converged bool. A status is always rank-uniform — each value is
+// decided from allreduce-derived quantities (residual norms, finite votes,
+// the cancellation/deadline trip lane), never from a rank-local predicate —
+// so all SPMD ranks exit a solve with the same status at the same iteration.
+#pragma once
+
+#include <string_view>
+
+namespace hpgmx {
+
+enum class SolveStatus {
+  Converged,         ///< relative residual reached the tolerance
+  Stagnated,         ///< iteration budget exhausted above the tolerance
+  NonFinite,         ///< inner basis/correction non-finite, guard exhausted
+  DeadlineExceeded,  ///< cooperative deadline tripped mid-solve
+  Cancelled,         ///< cancellation token tripped mid-solve
+  Rejected,          ///< request refused before any iteration (e.g. 0 RHS)
+};
+
+[[nodiscard]] constexpr std::string_view solve_status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged:
+      return "converged";
+    case SolveStatus::Stagnated:
+      return "stagnated";
+    case SolveStatus::NonFinite:
+      return "non_finite";
+    case SolveStatus::DeadlineExceeded:
+      return "deadline_exceeded";
+    case SolveStatus::Cancelled:
+      return "cancelled";
+    case SolveStatus::Rejected:
+      return "rejected";
+  }
+  return "rejected";
+}
+
+}  // namespace hpgmx

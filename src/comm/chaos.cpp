@@ -1,0 +1,98 @@
+#include "comm/chaos.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "base/error.hpp"
+#include "base/options.hpp"
+
+namespace hpgmx {
+
+namespace {
+
+double parse_double_field(std::string_view key, std::string_view value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  HPGMX_CHECK_MSG(ec == std::errc{} && ptr == value.data() + value.size(),
+                  "HPGMX_CHAOS: bad value '" << std::string(value) << "' for "
+                                             << std::string(key));
+  return out;
+}
+
+int parse_int_field(std::string_view key, std::string_view value) {
+  int out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  HPGMX_CHECK_MSG(ec == std::errc{} && ptr == value.data() + value.size(),
+                  "HPGMX_CHAOS: bad value '" << std::string(value) << "' for "
+                                             << std::string(key));
+  return out;
+}
+
+}  // namespace
+
+ChaosConfig ChaosConfig::parse(std::string_view spec) {
+  ChaosConfig cfg;
+  if (spec.empty() || spec == "off") {
+    return cfg;
+  }
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view field =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t colon = field.find(':');
+    HPGMX_CHECK_MSG(colon != std::string_view::npos,
+                    "HPGMX_CHAOS: field '" << std::string(field)
+                                           << "' is not key:value");
+    const std::string_view key = field.substr(0, colon);
+    const std::string_view value = field.substr(colon + 1);
+    if (key == "delay") {
+      cfg.delay_prob = parse_double_field(key, value);
+      HPGMX_CHECK_MSG(cfg.delay_prob >= 0.0 && cfg.delay_prob <= 1.0,
+                      "HPGMX_CHAOS: delay probability must be in [0,1]");
+    } else if (key == "reorder") {
+      cfg.reorder_prob = parse_double_field(key, value);
+      HPGMX_CHECK_MSG(cfg.reorder_prob >= 0.0 && cfg.reorder_prob <= 1.0,
+                      "HPGMX_CHAOS: reorder probability must be in [0,1]");
+    } else if (key == "slow_rank") {
+      cfg.slow_rank = parse_int_field(key, value);
+    } else if (key == "delay_us") {
+      cfg.delay_us = parse_int_field(key, value);
+      HPGMX_CHECK_MSG(cfg.delay_us >= 0, "HPGMX_CHAOS: delay_us must be >= 0");
+    } else if (key == "slow_us") {
+      cfg.slow_us = parse_int_field(key, value);
+      HPGMX_CHECK_MSG(cfg.slow_us >= 0, "HPGMX_CHAOS: slow_us must be >= 0");
+    } else {
+      HPGMX_CHECK_MSG(false, "HPGMX_CHAOS: unknown key '" << std::string(key)
+                                                          << "'");
+    }
+  }
+  return cfg;
+}
+
+ChaosConfig ChaosConfig::from_env() {
+  ChaosConfig cfg;
+  if (const auto spec = env_string("HPGMX_CHAOS")) {
+    cfg = parse(*spec);
+  }
+  cfg.seed = static_cast<std::uint64_t>(env_int_or(
+      "HPGMX_CHAOS_SEED", static_cast<std::int64_t>(cfg.seed)));
+  return cfg;
+}
+
+std::string ChaosConfig::to_string() const {
+  if (!enabled()) {
+    return "off";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "delay:%.17g,reorder:%.17g,slow_rank:%d,delay_us:%d,slow_us:%d",
+                delay_prob, reorder_prob, slow_rank, delay_us, slow_us);
+  return buf;
+}
+
+}  // namespace hpgmx

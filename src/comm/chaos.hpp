@@ -1,0 +1,223 @@
+// Deterministic, seed-driven fault injection over any Comm.
+//
+// ChaosComm promotes the test-only FaultyComm idioms (tests/comm_doubles.hpp)
+// into a first-class layer the service, the stress suite, the sanitizer
+// lanes, and bench/exp_resilience.cpp can all enable from the environment:
+//
+//   HPGMX_CHAOS=delay:0.25,reorder:0.5,slow_rank:1   HPGMX_CHAOS_SEED=42
+//
+// Faults are timing-and-ordering perturbations only — values are never
+// altered, dropped, or duplicated:
+//
+//   reorder:p    sends are withheld and delivered at this rank's next
+//                progress point (a blocking receive, a wait on a
+//                nonblocking receive, or any collective); each flush
+//                delivers in reverse posting order with probability p.
+//                Matching stays by (src, tag), so code correct under MPI's
+//                non-overtaking guarantee produces identical bits — the
+//                property the FaultyComm solver tests already assert.
+//   delay:p      each completed receive holds the waiter for delay_us
+//                microseconds with probability p (late completion).
+//   slow_rank:r  rank r sleeps slow_us before every collective (a
+//                persistent straggler, the load-imbalance stressor).
+//
+// Determinism: every probabilistic decision is drawn from the stateless
+// splitmix64 stream hash_rand(seed ^ rank-salt, draw-counter). A rank's
+// draw sequence depends only on (seed, rank, its own operation order), and
+// an SPMD rank's operation order is itself deterministic, so two runs with
+// the same seed inject faults at exactly the same points — and because
+// faults never change values, solver results are bit-identical with chaos
+// on, off, or reseeded. Each rank wraps its own ChaosComm instance; there
+// is no cross-rank shared state, so the layer is TSan-clean by design.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "comm/comm.hpp"
+
+namespace hpgmx {
+
+struct ChaosConfig {
+  double delay_prob = 0.0;    ///< P(hold a completed receive)
+  double reorder_prob = 0.0;  ///< P(a flush delivers in reverse order)
+  int slow_rank = -1;         ///< straggler rank (-1 = none)
+  int delay_us = 50;          ///< held-receive sleep (delay_us: key)
+  int slow_us = 200;          ///< straggler pre-collective sleep (slow_us:)
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;  ///< HPGMX_CHAOS_SEED
+
+  [[nodiscard]] bool enabled() const {
+    return delay_prob > 0.0 || reorder_prob > 0.0 || slow_rank >= 0;
+  }
+
+  /// Parse "delay:p,reorder:p,slow_rank:r[,delay_us:n][,slow_us:n]".
+  /// Throws hpgmx::Error on unknown keys or out-of-range values.
+  [[nodiscard]] static ChaosConfig parse(std::string_view spec);
+
+  /// HPGMX_CHAOS (spec) + HPGMX_CHAOS_SEED; disabled config when unset.
+  [[nodiscard]] static ChaosConfig from_env();
+
+  /// Canonical spec string (round-trips through parse); "off" if disabled.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The fault-injecting wrapper. One instance per rank, wrapping that rank's
+/// inner Comm; destruction flushes any still-withheld sends.
+class ChaosComm final : public Comm {
+ public:
+  ChaosComm(Comm& inner, const ChaosConfig& cfg)
+      : inner_(&inner),
+        cfg_(cfg),
+        // Per-rank stream salt: distinct ranks draw independent sequences
+        // from one seed without sharing any generator state.
+        stream_(splitmix64(cfg.seed) ^
+                splitmix64(0xC2B2AE3D27D4EB4FULL *
+                           (static_cast<std::uint64_t>(inner.rank()) + 1))) {}
+
+  ~ChaosComm() override { flush(); }
+  ChaosComm(const ChaosComm&) = delete;
+  ChaosComm& operator=(const ChaosComm&) = delete;
+
+  [[nodiscard]] int rank() const override { return inner_->rank(); }
+  [[nodiscard]] int size() const override { return inner_->size(); }
+
+  void send_bytes(int dst, int tag, const void* data,
+                  std::size_t bytes) override {
+    if (cfg_.reorder_prob > 0.0) {
+      withhold(dst, tag, data, bytes);
+    } else {
+      inner_->send_bytes(dst, tag, data, bytes);
+    }
+  }
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes) override {
+    flush();
+    inner_->recv_bytes(src, tag, data, bytes);
+    maybe_delay();
+  }
+  Request isend_bytes(int dst, int tag, const void* data,
+                      std::size_t bytes) override {
+    if (cfg_.reorder_prob > 0.0) {
+      // Eager completion (the legal extreme of MPI's eager protocol): the
+      // payload is copied into the withheld buffer, so the returned request
+      // has nothing left to wait for.
+      withhold(dst, tag, data, bytes);
+      return Request{};
+    }
+    return inner_->isend_bytes(dst, tag, data, bytes);
+  }
+  Request irecv_bytes(int src, int tag, void* data,
+                      std::size_t bytes) override {
+    return Request(std::make_shared<PerturbedRecv>(
+        this, inner_->irecv_bytes(src, tag, data, bytes)));
+  }
+
+  void barrier() override {
+    before_collective();
+    inner_->barrier();
+  }
+  void allreduce_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops, ReduceOp op) override {
+    before_collective();
+    inner_->allreduce_bytes(in, out, n, ops, op);
+  }
+  void allgather_bytes(const void* in, void* out, std::size_t n,
+                       const detail::TypeOps& ops) override {
+    before_collective();
+    inner_->allgather_bytes(in, out, n, ops);
+  }
+  void bcast_bytes(void* data, std::size_t n, const detail::TypeOps& ops,
+                   int root) override {
+    before_collective();
+    inner_->bcast_bytes(data, n, ops, root);
+  }
+
+  /// Deliver every withheld send; one draw decides whether this flush
+  /// reverses posting order (within one flush window the codebase never
+  /// posts two sends to the same (dst, tag), so reversal preserves
+  /// per-(src, tag) non-overtaking — see FaultyComm).
+  void flush() {
+    if (pending_.empty()) {
+      return;
+    }
+    std::vector<PendingSend> batch;
+    batch.swap(pending_);
+    if (next_unit() < cfg_.reorder_prob) {
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        inner_->send_bytes(it->dst, it->tag, it->data.data(),
+                           it->data.size());
+      }
+    } else {
+      for (const PendingSend& p : batch) {
+        inner_->send_bytes(p.dst, p.tag, p.data.data(), p.data.size());
+      }
+    }
+  }
+
+  /// Probabilistic decisions drawn so far (observability/testing).
+  [[nodiscard]] std::uint64_t draws() const { return draws_; }
+
+ private:
+  struct PendingSend {
+    int dst = 0;
+    int tag = 0;
+    std::vector<std::byte> data;
+  };
+
+  /// wait(): release withheld sends first (two chaotic ranks waiting on
+  /// each other must not both sit on undelivered messages), complete the
+  /// inner receive, then perhaps hold the waiter.
+  class PerturbedRecv final : public Request::State {
+   public:
+    PerturbedRecv(ChaosComm* owner, Request inner)
+        : owner_(owner), inner_(std::move(inner)) {}
+    void wait() override {
+      owner_->flush();
+      inner_.wait();
+      owner_->maybe_delay();
+    }
+
+   private:
+    ChaosComm* owner_;
+    Request inner_;
+  };
+
+  void withhold(int dst, int tag, const void* data, std::size_t bytes) {
+    PendingSend p;
+    p.dst = dst;
+    p.tag = tag;
+    p.data.resize(bytes);
+    std::memcpy(p.data.data(), data, bytes);
+    pending_.push_back(std::move(p));
+  }
+
+  void maybe_delay() {
+    if (cfg_.delay_prob > 0.0 && next_unit() < cfg_.delay_prob) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.delay_us));
+    }
+  }
+
+  void before_collective() {
+    flush();
+    if (cfg_.slow_rank == rank() && cfg_.slow_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.slow_us));
+    }
+  }
+
+  [[nodiscard]] double next_unit() { return unit_rand(stream_, draws_++); }
+
+  Comm* inner_;
+  ChaosConfig cfg_;
+  std::uint64_t stream_;
+  std::uint64_t draws_ = 0;
+  std::vector<PendingSend> pending_;
+};
+
+}  // namespace hpgmx

@@ -109,8 +109,9 @@ SolveResult AdaptiveGmresIr::solve(Comm& comm, std::span<const double> b,
     o.max_iters = budget;
     const SolveResult seg = stack_->run(comm, b, x, o);
     total.iterations += seg.iterations;
-    total.converged = seg.converged;
+    total.status = seg.status;
     total.relative_residual = seg.relative_residual;
+    total.final_precision = seg.final_precision;
     if (opts_.track_history) {
       // A continuation segment re-measures the junction residual at the
       // warm x its predecessor left behind — drop the duplicate entry so
@@ -121,7 +122,7 @@ SolveResult AdaptiveGmresIr::solve(Comm& comm, std::span<const double> b,
                            seg.history.end());
     }
     budget -= seg.iterations;
-    if (!seg.switch_requested || seg.converged || budget <= 0) {
+    if (!seg.switch_requested || seg.converged() || budget <= 0) {
       break;
     }
     continuation = true;

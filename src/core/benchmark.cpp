@@ -136,7 +136,7 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
     validation_double_ranks_ = v.ranks;
   }
   v.n_d = validation_double_result_.iterations;
-  v.d_converged = validation_double_result_.converged;
+  v.d_converged = validation_double_result_.converged();
   // §3.3 fullscale: if the cap was hit first, the achieved residual becomes
   // the target GMRES-IR must match; standard keeps 1e-9.
   v.achieved_tol = (mode == ValidationMode::FullScale && !v.d_converged)
@@ -197,7 +197,7 @@ ValidationResult BenchmarkDriver::run_validation(ValidationMode mode) {
     });
   });
   v.n_ir = ir_results[0].iterations;
-  v.ir_converged = ir_results[0].converged;
+  v.ir_converged = ir_results[0].converged();
   return v;
 }
 

@@ -135,6 +135,10 @@ class ConjugateGradient {
     AlignedVector<T> ap(static_cast<std::size_t>(n), T(0));
 
     SolveResult result;
+    result.final_precision = precision_of_v<T>;
+    const SolveControl& ctl = opts_.control;
+    const bool control_active = ctl.active();
+    TripCause trip = TripCause::None;
     double rho0;
     {
       ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
@@ -142,7 +146,7 @@ class ConjugateGradient {
     }
     if (rho0 == 0.0) {
       set_all(x, T(0));
-      result.converged = true;
+      result.status = SolveStatus::Converged;
       return result;
     }
     for (local_index_t i = 0; i < n; ++i) {
@@ -160,9 +164,25 @@ class ConjugateGradient {
       rho2_local = dot_span_blocked(std::span<const T>(r.data(), r.size()),
                                     std::span<const T>(r.data(), r.size()));
     }
-    double rho2 = opts_.batched_reductions
-                      ? 0.0
-                      : comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+    // Widened-by-one-lane variant of an existing Sum reduction: entry 0 is
+    // bit-identical to the stand-alone scalar reduce, the last entry is the
+    // deadline/cancel trip vote (base/cancel.hpp) — zero new collectives.
+    const auto reduce_with_trip = [&](double value_local) {
+      const std::array<double, 2> local{value_local,
+                                        ctl.trip_lane(comm.size())};
+      std::array<double, 2> global{};
+      comm.allreduce(std::span<const double>(local.data(), local.size()),
+                     std::span<double>(global.data(), global.size()),
+                     ReduceOp::Sum);
+      trip = SolveControl::decode_trip(global[1], comm.size());
+      return global[0];
+    };
+    double rho2 = 0.0;
+    if (!opts_.batched_reductions) {
+      rho2 = control_active
+                 ? reduce_with_trip(rho2_local)
+                 : comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+    }
 
     const auto apply_m = [&] {
       if (mg_ != nullptr) {
@@ -192,13 +212,26 @@ class ConjugateGradient {
               dot_local(std::span<const T>(r.data(), r.size()),
                         std::span<const T>(z.data(), z.size())));
         }
-        const std::array<double, 2> local{rho2_local, rz_local};
-        std::array<double, 2> global{};
-        comm.allreduce(std::span<const double>(local.data(), local.size()),
-                       std::span<double>(global.data(), global.size()),
-                       ReduceOp::Sum);
-        rho2 = global[0];
-        rz = global[1];
+        if (control_active) {
+          // Third packed lane: the trip vote rides the same message.
+          const std::array<double, 3> local{rho2_local, rz_local,
+                                            ctl.trip_lane(comm.size())};
+          std::array<double, 3> global{};
+          comm.allreduce(std::span<const double>(local.data(), local.size()),
+                         std::span<double>(global.data(), global.size()),
+                         ReduceOp::Sum);
+          rho2 = global[0];
+          rz = global[1];
+          trip = SolveControl::decode_trip(global[2], comm.size());
+        } else {
+          const std::array<double, 2> local{rho2_local, rz_local};
+          std::array<double, 2> global{};
+          comm.allreduce(std::span<const double>(local.data(), local.size()),
+                         std::span<double>(global.data(), global.size()),
+                         ReduceOp::Sum);
+          rho2 = global[0];
+          rz = global[1];
+        }
       }
       const double rho = std::sqrt(rho2);
       result.relative_residual = rho / rho0;
@@ -206,8 +239,12 @@ class ConjugateGradient {
         result.history.push_back(result.relative_residual);
       }
       if (result.relative_residual < opts_.tol) {
-        result.converged = true;
+        result.status = SolveStatus::Converged;
         break;
+      }
+      if (trip != TripCause::None) {
+        result.status = trip_status(trip);  // decoded from the reduced lane,
+        break;                              // so every rank breaks here
       }
       if (!opts_.batched_reductions) {
         apply_m();
@@ -265,7 +302,9 @@ class ConjugateGradient {
         }
       }
       if (!opts_.batched_reductions) {
-        rho2 = comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+        rho2 = control_active
+                   ? reduce_with_trip(rho2_local)
+                   : comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
       }
       ++result.iterations;
     }

@@ -4,16 +4,20 @@
 // solver; the float instantiation is exercised by tests.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <vector>
 
 #include "base/aligned_vector.hpp"
+#include "base/cancel.hpp"
+#include "base/solve_status.hpp"
 #include "blas/multivector.hpp"
 #include "blas/vector_ops.hpp"
 #include "core/dist_operator.hpp"
 #include "core/givens.hpp"
 #include "core/multigrid.hpp"
 #include "perf/motifs.hpp"
+#include "precision/precision.hpp"
 
 namespace hpgmx {
 
@@ -40,17 +44,32 @@ struct SolverOptions {
   /// Arnoldi step are irreducible; gemv_t already batches each projection's
   /// k dots into a single message.
   bool batched_reductions = true;
+  /// Cooperative cancellation/deadline control. The trip decision rides an
+  /// existing reduction as one extra packed lane (base/cancel.hpp), so all
+  /// ranks exit the same iteration; with the default (inactive) control the
+  /// solvers keep their exact control-free message schedule and bits.
+  SolveControl control;
 };
 
 struct SolveResult {
   int iterations = 0;  ///< Arnoldi steps performed (the benchmark's count)
-  bool converged = false;
+  /// Structured outcome (rank-uniform; see base/solve_status.hpp). A failed
+  /// solve still carries relative_residual (the last allreduce-derived
+  /// value) and final_precision so callers can decide on retry/promotion.
+  SolveStatus status = SolveStatus::Stagnated;
   double relative_residual = 0.0;  ///< true relative residual at exit
+  /// Storage format the (final) iteration ran in: T for Gmres/CG, the inner
+  /// TLow for GmresIr, and the last rung for AdaptiveGmresIr.
+  Precision final_precision = Precision::Fp64;
   std::vector<double> history;     ///< per-restart true relative residuals
   /// A cycle observer asked the solver to stop so the caller can re-enter
   /// at a promoted precision (GmresIr::set_cycle_observer); x holds the
   /// warm iterate. Always false for Gmres/CG and observer-less GMRES-IR.
   bool switch_requested = false;
+
+  [[nodiscard]] bool converged() const {
+    return status == SolveStatus::Converged;
+  }
 };
 
 template <typename T>
@@ -86,6 +105,10 @@ class Gmres {
     HessenbergQR qr(m);
 
     SolveResult result;
+    result.final_precision = precision_of_v<T>;
+    const SolveControl& ctl = opts_.control;
+    const bool control_active = ctl.active();
+    TripCause trip = TripCause::None;
     double rho0;
     {
       ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
@@ -93,7 +116,7 @@ class Gmres {
     }
     if (rho0 == 0.0) {
       set_all(x, T(0));
-      result.converged = true;
+      result.status = SolveStatus::Converged;
       return result;
     }
     for (local_index_t i = 0; i < n; ++i) {
@@ -107,16 +130,40 @@ class Gmres {
       double rho;
       {
         ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
-        rho = static_cast<double>(
-            nrm2<T>(comm, std::span<const T>(r.data(), r.size())));
+        if (control_active) {
+          // Same local partial and Sum-reduction as nrm2<T>, widened by the
+          // trip lane: entry 0 is bit-identical to the stand-alone norm
+          // (elementwise rank-ordered combine), entry 1 carries the
+          // deadline/cancel vote at zero extra collectives.
+          const T rho2_local = static_cast<T>(
+              dot_local(std::span<const T>(r.data(), r.size()),
+                        std::span<const T>(r.data(), r.size())));
+          const std::array<T, 2> local{
+              rho2_local, static_cast<T>(ctl.trip_lane(comm.size()))};
+          std::array<T, 2> global{};
+          comm.allreduce(std::span<const T>(local.data(), local.size()),
+                         std::span<T>(global.data(), global.size()),
+                         ReduceOp::Sum);
+          trip = SolveControl::decode_trip(static_cast<double>(global[1]),
+                                           comm.size());
+          rho = static_cast<double>(static_cast<T>(
+              std::sqrt(static_cast<double>(global[0]))));
+        } else {
+          rho = static_cast<double>(
+              nrm2<T>(comm, std::span<const T>(r.data(), r.size())));
+        }
       }
       result.relative_residual = rho / rho0;
       if (opts_.track_history) {
         result.history.push_back(result.relative_residual);
       }
       if (result.relative_residual < opts_.tol) {
-        result.converged = true;
+        result.status = SolveStatus::Converged;
         break;
+      }
+      if (trip != TripCause::None) {
+        result.status = trip_status(trip);  // rank-uniform: decoded from the
+        break;                              // reduced lane, never local state
       }
       // q1 = r / rho; the reduced RHS is e1 (scale folded into the final
       // update to keep T-precision magnitudes O(1)).
@@ -232,14 +279,18 @@ class Gmres {
       (void)cycle_converged;  // verified against the true residual next cycle
     }
 
-    if (!result.converged) {
+    if (!result.converged() && trip == TripCause::None) {
       // Loop left on the iteration cap: report the final true residual.
+      // (A tripped exit keeps the last cycle-top residual instead: the
+      // caller asked us to stop spending collectives, not start new ones.)
       a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
                    std::span<T>(r.data(), r.size()));
       const double rho = static_cast<double>(
           nrm2<T>(comm, std::span<const T>(r.data(), r.size())));
       result.relative_residual = rho / rho0;
-      result.converged = result.relative_residual < opts_.tol;
+      result.status = result.relative_residual < opts_.tol
+                          ? SolveStatus::Converged
+                          : SolveStatus::Stagnated;
     }
     for (local_index_t i = 0; i < n; ++i) {
       x[static_cast<std::size_t>(i)] = x_full[static_cast<std::size_t>(i)];

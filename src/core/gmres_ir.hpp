@@ -94,6 +94,10 @@ class GmresIr {
     HessenbergQR qr(m);
 
     SolveResult result;
+    result.final_precision = precision_of_v<TLow>;
+    const SolveControl& ctl = opts_.control;
+    const bool control_active = ctl.active();
+    TripCause trip = TripCause::None;
     double rho0;
     {
       ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
@@ -101,7 +105,7 @@ class GmresIr {
     }
     if (rho0 == 0.0) {
       set_all(x, 0.0);
-      result.converged = true;
+      result.status = SolveStatus::Converged;
       return result;
     }
     for (local_index_t i = 0; i < n; ++i) {
@@ -124,15 +128,41 @@ class GmresIr {
       //    ‖r‖² folded into the residual sweep (fused) or recomputed in a
       //    second bit-identical pass (unfused) --------------------------
       if (!have_rho2) {
-        rho2 = opts_.fused_passes
-                   ? a_high_->residual_norm2(
-                         comm, b,
-                         std::span<double>(x_full.data(), x_full.size()),
-                         std::span<double>(r.data(), r.size()))
-                   : a_high_->residual_then_norm2(
-                         comm, b,
-                         std::span<double>(x_full.data(), x_full.size()),
-                         std::span<double>(r.data(), r.size()));
+        if (control_active) {
+          // Same local leg as residual_norm2 / residual_then_norm2, widened
+          // by the trip lane: entry 0 of the packed Sum is bit-identical to
+          // the internal scalar allreduce those entry points run, entry 1
+          // carries the deadline/cancel vote (base/cancel.hpp) — the trip
+          // decision costs zero additional collectives.
+          const double rho2_local =
+              opts_.fused_passes
+                  ? a_high_->residual_norm2_local(
+                        comm, b,
+                        std::span<double>(x_full.data(), x_full.size()),
+                        std::span<double>(r.data(), r.size()))
+                  : a_high_->residual_then_norm2_local(
+                        comm, b,
+                        std::span<double>(x_full.data(), x_full.size()),
+                        std::span<double>(r.data(), r.size()));
+          const std::array<double, 2> local{rho2_local,
+                                            ctl.trip_lane(comm.size())};
+          std::array<double, 2> global{};
+          comm.allreduce(std::span<const double>(local.data(), local.size()),
+                         std::span<double>(global.data(), global.size()),
+                         ReduceOp::Sum);
+          rho2 = global[0];
+          trip = SolveControl::decode_trip(global[1], comm.size());
+        } else {
+          rho2 = opts_.fused_passes
+                     ? a_high_->residual_norm2(
+                           comm, b,
+                           std::span<double>(x_full.data(), x_full.size()),
+                           std::span<double>(r.data(), r.size()))
+                     : a_high_->residual_then_norm2(
+                           comm, b,
+                           std::span<double>(x_full.data(), x_full.size()),
+                           std::span<double>(r.data(), r.size()));
+        }
       }
       have_rho2 = false;
       const double rho = std::sqrt(rho2);
@@ -141,7 +171,15 @@ class GmresIr {
         result.history.push_back(result.relative_residual);
       }
       if (result.relative_residual < opts_.tol) {
-        result.converged = true;
+        result.status = SolveStatus::Converged;
+        break;
+      }
+      if (trip != TripCause::None) {
+        // Decoded from the previous reduced lane, never from a local clock
+        // read, so all ranks exit this same cycle bitwise-identically; x
+        // holds the last accepted iterate. A trip outranks a pending
+        // observer promotion — the caller asked us to stop, not widen.
+        result.status = trip_status(trip);
         break;
       }
       // relative_residual is allreduce-derived, so the observer's decision
@@ -347,12 +385,29 @@ class GmresIr {
                 : a_high_->residual_then_norm2_local(
                       comm, b, std::span<double>(x_next.data(), x_next.size()),
                       std::span<double>(r.data(), r.size()));
-        const std::array<double, 2> local{rho2_cand_local, finite_local};
-        std::array<double, 2> global{};
-        comm.allreduce(std::span<const double>(local.data(), local.size()),
-                       std::span<double>(global.data(), global.size()),
-                       ReduceOp::Sum);
-        if (global[1] != static_cast<double>(comm.size())) {
+        double finite_sum;
+        if (control_active) {
+          // Third packed lane: the deadline/cancel trip vote rides the same
+          // coalesced message; the loop top acts on it next cycle.
+          const std::array<double, 3> local{rho2_cand_local, finite_local,
+                                            ctl.trip_lane(comm.size())};
+          std::array<double, 3> global3{};
+          comm.allreduce(std::span<const double>(local.data(), local.size()),
+                         std::span<double>(global3.data(), global3.size()),
+                         ReduceOp::Sum);
+          rho2 = global3[0];
+          finite_sum = global3[1];
+          trip = SolveControl::decode_trip(global3[2], comm.size());
+        } else {
+          const std::array<double, 2> local{rho2_cand_local, finite_local};
+          std::array<double, 2> global{};
+          comm.allreduce(std::span<const double>(local.data(), local.size()),
+                         std::span<double>(global.data(), global.size()),
+                         ReduceOp::Sum);
+          rho2 = global[0];
+          finite_sum = global[1];
+        }
+        if (finite_sum != static_cast<double>(comm.size())) {
           // Same recovery as the unbatched vote. x is untouched; r holds
           // the discarded candidate's residual, but have_rho2 == false
           // makes the loop top recompute both from x.
@@ -370,7 +425,6 @@ class GmresIr {
           continue;
         }
         std::swap(x_full, x_next);
-        rho2 = global[0];
         have_rho2 = true;
       }
       if (guard_ != nullptr) {
@@ -379,7 +433,12 @@ class GmresIr {
       }
     }
 
-    if (!result.converged && !aborted) {
+    if (aborted) {
+      // Guard exhausted or unguarded overflow: x was never poisoned, but no
+      // further progress is possible at this format. The caller (service
+      // RetryPolicy) can re-run at a promoted precision.
+      result.status = SolveStatus::NonFinite;
+    } else if (!result.converged() && trip == TripCause::None) {
       const double rho2 =
           opts_.fused_passes
               ? a_high_->residual_norm2(
@@ -389,7 +448,9 @@ class GmresIr {
                     comm, b, std::span<double>(x_full.data(), x_full.size()),
                     std::span<double>(r.data(), r.size()));
       result.relative_residual = std::sqrt(rho2) / rho0;
-      result.converged = result.relative_residual < opts_.tol;
+      result.status = result.relative_residual < opts_.tol
+                          ? SolveStatus::Converged
+                          : SolveStatus::Stagnated;
     }
     for (local_index_t i = 0; i < n; ++i) {
       x[static_cast<std::size_t>(i)] = x_full[static_cast<std::size_t>(i)];

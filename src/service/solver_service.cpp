@@ -15,6 +15,67 @@
 
 namespace hpgmx {
 
+namespace {
+
+/// Promotion ladder the RetryPolicy climbs (matches AdaptiveConfig's
+/// rung_order): fp16 → bf16 → fp32 → fp64; fp64 has nowhere left to go.
+std::optional<Precision> next_wider(Precision p) {
+  switch (p) {
+    case Precision::Fp16:
+      return Precision::Bf16;
+    case Precision::Bf16:
+      return Precision::Fp32;
+    case Precision::Fp32:
+      return Precision::Fp64;
+    case Precision::Fp64:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Severity for worst-status aggregation (higher = worse).
+int status_severity(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged:
+      return 0;
+    case SolveStatus::Stagnated:
+      return 1;
+    case SolveStatus::NonFinite:
+      return 2;
+    case SolveStatus::DeadlineExceeded:
+      return 3;
+    case SolveStatus::Cancelled:
+      return 4;
+    case SolveStatus::Rejected:
+      return 5;
+  }
+  return 5;
+}
+
+}  // namespace
+
+SolveStatus aggregate_status(const std::vector<SolveResult>& rhs) {
+  if (rhs.empty()) {
+    return SolveStatus::Rejected;
+  }
+  SolveStatus worst = SolveStatus::Converged;
+  for (const SolveResult& r : rhs) {
+    if (status_severity(r.status) > status_severity(worst)) {
+      worst = r.status;
+    }
+  }
+  return worst;
+}
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy p;
+  p.enabled = env_int_or("HPGMX_RETRY", p.enabled ? 1 : 0) != 0;
+  p.max_retries = static_cast<int>(
+      env_int_or("HPGMX_RETRY_MAX", p.max_retries));
+  HPGMX_CHECK_MSG(p.max_retries >= 0, "HPGMX_RETRY_MAX must be >= 0");
+  return p;
+}
+
 ServiceConfig ServiceConfig::from_env() {
   ServiceConfig cfg;
   cfg.workers = static_cast<int>(env_int_or("HPGMX_SERVICE_WORKERS",
@@ -26,6 +87,8 @@ ServiceConfig ServiceConfig::from_env() {
   cfg.cache_entries = static_cast<std::size_t>(env_int_or(
       "HPGMX_SERVICE_CACHE", static_cast<std::int64_t>(cfg.cache_entries)));
   HPGMX_CHECK_MSG(cfg.cache_entries >= 1, "HPGMX_SERVICE_CACHE must be >= 1");
+  cfg.retry = RetryPolicy::from_env();
+  cfg.chaos = ChaosConfig::from_env();
   return cfg;
 }
 
@@ -40,7 +103,22 @@ SolverService::SolverService(ServiceConfig cfg)
 
 SolverService::~SolverService() { shutdown(); }
 
+std::future<ServiceResult> SolverService::rejected_future(
+    const SolveRequest& req) {
+  std::promise<ServiceResult> promise;
+  ServiceResult res;
+  res.descriptor_hash = req.desc.hash();
+  res.status = SolveStatus::Rejected;
+  promise.set_value(std::move(res));
+  return promise.get_future();
+}
+
 std::future<ServiceResult> SolverService::submit(SolveRequest req) {
+  if (req.num_rhs < 1) {
+    // Structured rejection: the client gets a resolved ticket with status
+    // rejected instead of a worker-side exception.
+    return rejected_future(req);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [&] {
     return shutting_down_ || queue_.size() < cfg_.queue_capacity;
@@ -54,11 +132,33 @@ std::future<ServiceResult> SolverService::submit(SolveRequest req) {
   return ticket;
 }
 
+std::optional<std::future<ServiceResult>> SolverService::try_submit(
+    SolveRequest req, std::chrono::milliseconds timeout) {
+  if (req.num_rhs < 1) {
+    return rejected_future(req);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool ready = not_full_.wait_for(lock, timeout, [&] {
+    return shutting_down_ || queue_.size() < cfg_.queue_capacity;
+  });
+  if (!ready || shutting_down_) {
+    return std::nullopt;  // timed out in backpressure, or shutting down
+  }
+  Item item;
+  item.req = std::move(req);
+  std::future<ServiceResult> ticket = item.promise.get_future();
+  queue_.push_back(std::move(item));
+  not_empty_.notify_one();
+  return ticket;
+}
+
 void SolverService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
+  // Wake both worker threads (drain then exit) and any submitter blocked in
+  // backpressure (observes shutting_down_ and throws / returns nullopt).
   not_empty_.notify_all();
   not_full_.notify_all();
   for (std::thread& w : workers_) {
@@ -67,11 +167,29 @@ void SolverService::shutdown() {
     }
   }
   workers_.clear();
+  // Workers drain the queue before exiting; if one ever died mid-loop,
+  // resolve the leftovers as cancelled so no promise is abandoned.
+  std::deque<Item> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (Item& item : leftovers) {
+    ServiceResult res;
+    res.descriptor_hash = item.req.desc.hash();
+    res.status = SolveStatus::Cancelled;
+    item.promise.set_value(std::move(res));
+  }
 }
 
 std::size_t SolverService::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+bool SolverService::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutting_down_;
 }
 
 void SolverService::worker_loop() {
@@ -95,19 +213,10 @@ void SolverService::worker_loop() {
   }
 }
 
-ServiceResult SolverService::execute(const SolveRequest& req) {
-  const ProblemDescriptor& d = req.desc;
-  HPGMX_CHECK_MSG(req.num_rhs >= 1, "request needs at least one RHS");
-  ServiceResult out;
-  out.descriptor_hash = d.hash();
-
-  WallTimer setup_timer;
-  bool hit = false;
-  const std::shared_ptr<const OperatorCache::Entry> entry =
-      cache_.get_or_build(d, &hit);
-  out.cache_hit = hit;
-  out.setup_seconds = setup_timer.seconds();
-
+void SolverService::run_attempt(
+    const ProblemDescriptor& d, const SolveRequest& req,
+    const std::shared_ptr<const OperatorCache::Entry>& entry,
+    const SolveControl& control, ServiceResult& out) {
   const BenchParams params = d.to_bench_params();
   SolverOptions opts;
   opts.restart = d.restart;
@@ -115,6 +224,7 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
   opts.tol = d.tol;
   opts.fused_passes = d.fused;
   opts.batched_reductions = d.batched_reduce;
+  opts.control = control;
 
   // Each request gets its own SPMD world: Self for one rank, in-process
   // threads otherwise — concurrent workers' worlds are fully independent.
@@ -125,7 +235,14 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
   std::vector<std::vector<Precision>> slot_realized(
       static_cast<std::size_t>(world->local_count()));
   WallTimer solve_timer;
-  world->execute([&](Comm& comm) {
+  world->execute([&](Comm& world_comm) {
+    // Per-rank chaos wrapper: deterministic fault injection (timing and
+    // ordering only — results are bit-identical with chaos on or off).
+    std::unique_ptr<ChaosComm> chaotic;
+    if (cfg_.chaos.enabled()) {
+      chaotic = std::make_unique<ChaosComm>(world_comm, cfg_.chaos);
+    }
+    Comm& comm = chaotic != nullptr ? *chaotic : world_comm;
     const auto slot = static_cast<std::size_t>(world->slot_of(comm.rank()));
     const ProblemHierarchy& h =
         entry->hierarchy[static_cast<std::size_t>(comm.rank())];
@@ -169,9 +286,65 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
     }
     slot_results[slot] = std::move(res);
   });
-  out.solve_seconds = solve_timer.seconds();
+  out.solve_seconds += solve_timer.seconds();
   out.rhs = std::move(slot_results[0]);
   out.realized_precisions = std::move(slot_realized[0]);
+  out.status = aggregate_status(out.rhs);
+
+  AttemptRecord rec;
+  rec.precision =
+      d.solver == SolverKind::GmresIr ? d.inner_precision : Precision::Fp64;
+  rec.status = out.status;
+  for (const SolveResult& r : out.rhs) {
+    rec.iterations += r.iterations;
+    rec.relative_residual =
+        std::max(rec.relative_residual, r.relative_residual);
+  }
+  out.attempts.push_back(rec);
+}
+
+ServiceResult SolverService::execute(const SolveRequest& req) {
+  ServiceResult out;
+  out.descriptor_hash = req.desc.hash();
+  if (req.num_rhs < 1) {
+    out.status = SolveStatus::Rejected;  // structured, never a throw
+    return out;
+  }
+
+  WallTimer setup_timer;
+  bool hit = false;
+  const std::shared_ptr<const OperatorCache::Entry> entry =
+      cache_.get_or_build(req.desc, &hit);
+  out.cache_hit = hit;
+  out.setup_seconds = setup_timer.seconds();
+
+  SolveControl control;
+  control.cancel = req.cancel.get();
+  control.deadline = req.deadline;
+
+  // Retry-with-promotion: the cached entry (per-rank double hierarchy +
+  // globally reduced level maxima) is precision-independent, so a promoted
+  // attempt reuses it directly — warm descriptor, cold iterate. The
+  // deadline keeps ticking across attempts.
+  ProblemDescriptor d = req.desc;
+  for (int retry = 0;; ++retry) {
+    run_attempt(d, req, entry, control, out);
+    const bool recoverable = out.status == SolveStatus::NonFinite ||
+                             out.status == SolveStatus::Stagnated;
+    if (!cfg_.retry.enabled || retry >= cfg_.retry.max_retries ||
+        !recoverable || d.solver != SolverKind::GmresIr ||
+        d.adaptive.enabled) {
+      break;
+    }
+    const std::optional<Precision> wider = next_wider(d.inner_precision);
+    if (!wider.has_value()) {
+      break;  // already at the top rung
+    }
+    d.inner_precision = *wider;
+    // The retry runs the promoted format uniformly: a progressive schedule
+    // tuned for the failed entry format would re-narrow the coarse levels.
+    d.schedule = PrecisionSchedule{};
+  }
   return out;
 }
 

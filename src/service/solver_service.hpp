@@ -4,37 +4,72 @@
 // operator/hierarchy through the shared OperatorCache, and runs the
 // requested solver (double GMRES, mixed-precision GMRES-IR, or CG) over all
 // B right-hand sides with one setup. Backpressure: submit() blocks while
-// the queue is at capacity. shutdown() drains outstanding requests, then
-// joins the pool; submitting afterwards throws.
+// the queue is at capacity (try_submit bounds the wait). shutdown() drains
+// outstanding requests, wakes any caller still blocked in backpressure,
+// then joins the pool; submitting afterwards throws (submit) or returns
+// nullopt (try_submit).
+//
+// Resilience (docs/RESILIENCE.md): every result carries a structured
+// SolveStatus instead of a bare bool; requests may attach a Deadline and a
+// shared CancelToken whose rank-consistent trip rides the solvers' existing
+// packed reductions (base/cancel.hpp); a RetryPolicy re-executes a
+// non_finite/stagnated GMRES-IR request once per rung at a promoted inner
+// precision — warm descriptor (the cached hierarchy is precision-
+// independent and is reused directly), cold iterate — recording the ladder
+// in ServiceResult::attempts; and a ChaosConfig wraps each worker rank's
+// Comm in the deterministic fault injector (comm/chaos.hpp).
 //
 // Determinism: a request's results depend only on its descriptor and RHS
 // batch — never on queue order, worker identity, or cache state. Cached
 // hierarchies are bit-identical to fresh builds, and the SPMD solve inside
 // a worker uses the same rank-ordered deterministic reductions as the
 // benchmark driver, so N concurrent submissions of one request yield N
-// bitwise-equal results (tests/test_service.cpp asserts this).
+// bitwise-equal results (tests/test_service.cpp asserts this). Chaos
+// perturbs timing and message order, never values, so results stay
+// bit-identical under it too.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "base/cancel.hpp"
+#include "comm/chaos.hpp"
 #include "core/gmres.hpp"
 #include "precision/precision.hpp"
 #include "service/operator_cache.hpp"
 
 namespace hpgmx {
 
+/// Failure-recovery policy for the service: a GMRES-IR request that ends
+/// non_finite or stagnated below the top rung is re-executed at the next
+/// wider inner precision (fp16 → bf16 → fp32 → fp64), at most max_retries
+/// times per request. Adaptive requests climb their own ladder in-solve and
+/// are not retried. Deadline/cancel trips are never retried.
+struct RetryPolicy {
+  bool enabled = true;
+  int max_retries = 1;
+
+  /// HPGMX_RETRY (0 disables), HPGMX_RETRY_MAX.
+  [[nodiscard]] static RetryPolicy from_env();
+};
+
 struct ServiceConfig {
   int workers = 2;                 ///< solver worker threads
   std::size_t queue_capacity = 16; ///< pending requests before submit() blocks
   std::size_t cache_entries = 8;   ///< OperatorCache LRU capacity
+  RetryPolicy retry;               ///< promoted-retry policy
+  ChaosConfig chaos;               ///< fault injection (disabled by default)
 
-  /// HPGMX_SERVICE_WORKERS, HPGMX_SERVICE_QUEUE, HPGMX_SERVICE_CACHE.
+  /// HPGMX_SERVICE_WORKERS, HPGMX_SERVICE_QUEUE, HPGMX_SERVICE_CACHE, plus
+  /// RetryPolicy::from_env and ChaosConfig::from_env.
   [[nodiscard]] static ServiceConfig from_env();
 };
 
@@ -44,32 +79,56 @@ struct SolveRequest {
   /// RHS batch shape: column j solves b_j = (1 + j·rhs_spread) · b where
   /// b = A·1 is the benchmark RHS (0 = B identical systems).
   double rhs_spread = 0.0;
+  /// Wall-clock budget for the whole request, retries included; the default
+  /// never expires. The solve exits cooperatively (status
+  /// deadline_exceeded) at the same iteration on every rank.
+  Deadline deadline{};
+  /// Optional cancellation token, shared so the client can trip it from any
+  /// thread after submitting; the solve exits with status cancelled.
+  std::shared_ptr<CancelToken> cancel;
+};
+
+/// One execution of a request at one precision configuration — the entries
+/// of ServiceResult::attempts, recording the retry ladder.
+struct AttemptRecord {
+  /// Configured inner entry format of the attempt (fp64 for Gmres/CG).
+  Precision precision = Precision::Fp64;
+  SolveStatus status = SolveStatus::Rejected;
+  int iterations = 0;               ///< total Arnoldi steps over the batch
+  double relative_residual = 0.0;   ///< worst (max) across the batch
 };
 
 struct ServiceResult {
   std::uint64_t descriptor_hash = 0;
   bool cache_hit = false;
+  /// Aggregate outcome of the served (final) attempt: the worst per-RHS
+  /// status, priority cancelled > deadline_exceeded > non_finite >
+  /// stagnated > converged; rejected for requests refused before solving.
+  SolveStatus status = SolveStatus::Rejected;
   double setup_seconds = 0.0;  ///< operator acquisition (≈0 on a hit)
   double solve_seconds = 0.0;  ///< solver construction + all-RHS solve wall
-  /// Per-RHS outcome, rank-uniform (every stopping decision is
-  /// allreduce-derived).
+  /// Per-RHS outcome of the served attempt, rank-uniform (every stopping
+  /// decision is allreduce-derived).
   std::vector<SolveResult> rhs;
   /// Realized per-cycle inner formats of a GMRES-IR request, across the
   /// whole RHS batch in execution order — what the adaptive controller
   /// actually ran (static requests report their configured format per
   /// cycle; Gmres/CG leave this empty). Rank-uniform like every other
-  /// controller decision.
+  /// controller decision. On a retried request this reports the served
+  /// attempt; `attempts` records the full ladder.
   std::vector<Precision> realized_precisions;
+  /// Every attempt in execution order (size 1 without retries). A promoted
+  /// retry appends a second record, so degradation is observable.
+  std::vector<AttemptRecord> attempts;
 
   [[nodiscard]] bool all_converged() const {
-    for (const SolveResult& r : rhs) {
-      if (!r.converged) {
-        return false;
-      }
-    }
-    return !rhs.empty();
+    return status == SolveStatus::Converged;
   }
 };
+
+/// Worst-status aggregation used for ServiceResult::status (Rejected for an
+/// empty batch — a zero-RHS request never reaches a solver).
+[[nodiscard]] SolveStatus aggregate_status(const std::vector<SolveResult>& rhs);
 
 class SolverService {
  public:
@@ -78,12 +137,23 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
-  /// Enqueue a request; blocks while the queue is full (backpressure).
-  /// The future resolves when a worker finishes the solve (or carries the
-  /// worker's exception). Throws after shutdown().
+  /// Enqueue a request; blocks while the queue is full (backpressure) but
+  /// wakes — and throws — if shutdown() begins while waiting. The future
+  /// resolves when a worker finishes the solve (or carries the worker's
+  /// exception). A request with num_rhs < 1 is not enqueued: its future is
+  /// already resolved with status rejected. Throws after shutdown().
   [[nodiscard]] std::future<ServiceResult> submit(SolveRequest req);
 
-  /// Drain every queued request, then stop and join the workers.
+  /// Bounded-wait submit: like submit(), but gives up after `timeout` in
+  /// backpressure and returns std::nullopt instead of blocking forever.
+  /// Also returns nullopt (never throws) when the service is shutting
+  /// down. Zero-RHS requests resolve immediately with status rejected.
+  [[nodiscard]] std::optional<std::future<ServiceResult>> try_submit(
+      SolveRequest req, std::chrono::milliseconds timeout);
+
+  /// Drain every queued request, then stop and join the workers; any
+  /// request still queued after the drain (defensive: a worker died) is
+  /// resolved with status cancelled so no future is ever abandoned.
   /// Idempotent; also run by the destructor.
   void shutdown();
 
@@ -98,6 +168,7 @@ class SolverService {
   }
   [[nodiscard]] std::size_t queued() const;
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+  [[nodiscard]] bool shutting_down() const;
 
  private:
   struct Item {
@@ -107,6 +178,14 @@ class SolverService {
 
   void worker_loop();
   [[nodiscard]] ServiceResult execute(const SolveRequest& req);
+  /// One solve of `req` with descriptor `d` against the (precision-
+  /// independent) cached entry; appends the AttemptRecord and installs the
+  /// per-RHS results into `out`.
+  void run_attempt(const ProblemDescriptor& d, const SolveRequest& req,
+                   const std::shared_ptr<const OperatorCache::Entry>& entry,
+                   const SolveControl& control, ServiceResult& out);
+  [[nodiscard]] static std::future<ServiceResult> rejected_future(
+      const SolveRequest& req);
 
   ServiceConfig cfg_;
   OperatorCache cache_;

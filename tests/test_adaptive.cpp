@@ -367,8 +367,8 @@ TEST(AdaptiveGmresIrTest, DisabledControllerIsBitIdenticalToTheStaticPath) {
       std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       {x_ad.data(), x_ad.size()});
 
-  ASSERT_TRUE(ref.converged);
-  ASSERT_TRUE(ad.converged);
+  ASSERT_TRUE(ref.converged());
+  ASSERT_TRUE(ad.converged());
   EXPECT_EQ(ref.iterations, ad.iterations);
   EXPECT_EQ(ref.relative_residual, ad.relative_residual);
   ASSERT_EQ(ref.history.size(), ad.history.size());
@@ -407,7 +407,7 @@ TEST(AdaptiveGmresIrTest, AdaptiveSolvesTheStressScenariosToTheDoubleTarget) {
         comm,
         std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
         {x.data(), x.size()});
-    EXPECT_TRUE(res.converged) << scenario_name(sc);
+    EXPECT_TRUE(res.converged()) << scenario_name(sc);
     EXPECT_LE(res.relative_residual, 1e-9) << scenario_name(sc);
     EXPECT_FALSE(res.switch_requested);  // switches are serviced internally
     EXPECT_GT(solver.realized_bytes(), 0.0);
@@ -431,7 +431,7 @@ TEST(AdaptiveGmresIrTest, Bf16StartIsRescuedByPromotionAndStillConverges) {
       comm,
       std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       {x.data(), x.size()});
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
   EXPECT_LE(res.relative_residual, 1e-9);
   // bf16's roundoff-limited contraction trips the stagnation threshold:
   // the solve starts in bf16 and finishes in a wider format.

@@ -47,7 +47,7 @@ TEST(BuildSmoke, QuickstartPipelineConverges) {
   AlignedVector<double> x_d(b.size(), 0.0);
   const SolveResult res_d =
       gmres_d.solve(comm, b, std::span<double>(x_d.data(), x_d.size()));
-  EXPECT_TRUE(res_d.converged);
+  EXPECT_TRUE(res_d.converged());
   EXPECT_LE(res_d.relative_residual, opts.tol);
 
   Multigrid<float> mg_f(hierarchy, params);
@@ -57,7 +57,7 @@ TEST(BuildSmoke, QuickstartPipelineConverges) {
   AlignedVector<double> x_ir(b.size(), 0.0);
   const SolveResult res_ir =
       gmres_ir.solve(comm, b, std::span<double>(x_ir.data(), x_ir.size()));
-  EXPECT_TRUE(res_ir.converged);
+  EXPECT_TRUE(res_ir.converged());
   EXPECT_LE(res_ir.relative_residual, opts.tol);
 }
 

@@ -248,7 +248,7 @@ void expect_gmres_ir_toggle_bit_identical() {
   const SolveResult b = solve_ir_toggle<TLow>(
       h, /*fused=*/false,
       std::span<double>(x_unfused.data(), x_unfused.size()));
-  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(a.converged());
   EXPECT_EQ(a.iterations, b.iterations);
   EXPECT_EQ(a.relative_residual, b.relative_residual);
   ASSERT_EQ(a.history.size(), b.history.size());
@@ -293,7 +293,7 @@ TEST(FusedToggle, CgBitIdenticalDouble) {
         std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
         std::span<double>(x.data(), x.size()));
   }
-  EXPECT_TRUE(res[0].converged);
+  EXPECT_TRUE(res[0].converged());
   EXPECT_EQ(res[0].iterations, res[1].iterations);
   EXPECT_EQ(res[0].relative_residual, res[1].relative_residual);
   ASSERT_EQ(res[0].history.size(), res[1].history.size());
@@ -329,7 +329,7 @@ TEST(FusedToggle, CgBitIdenticalFloatReferencePath) {
     res[i] = cg.solve(comm, std::span<const float>(b.data(), b.size()),
                       std::span<float>(x.data(), x.size()));
   }
-  EXPECT_TRUE(res[0].converged);
+  EXPECT_TRUE(res[0].converged());
   EXPECT_EQ(res[0].iterations, res[1].iterations);
   EXPECT_EQ(res[0].relative_residual, res[1].relative_residual);
   expect_bitwise_equal(std::span<const float>(x1.data(), x1.size()),

@@ -348,7 +348,7 @@ TEST(Idx16Solve, GmresIrConvergesUnderIdx16AndMatchesIdx32) {
       h, IndexWidth::Idx16, std::span<double>(x16.data(), x16.size()));
   const SolveResult r32 = solve_ir_idx<float>(
       h, IndexWidth::Idx32, std::span<double>(x32.data(), x32.size()));
-  EXPECT_TRUE(r16.converged);
+  EXPECT_TRUE(r16.converged());
   EXPECT_LT(r16.relative_residual, 1e-9);
   EXPECT_EQ(r16.iterations, r32.iterations);
   EXPECT_EQ(r16.relative_residual, r32.relative_residual);
@@ -366,7 +366,7 @@ TEST(Idx16Solve, Bf16GmresIrConvergesUnderIdx16) {
   AlignedVector<double> x(h.levels[0].b.size(), 0.0);
   const SolveResult r = solve_ir_idx<bf16_t>(
       h, IndexWidth::Idx16, std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.converged());
   EXPECT_LT(r.relative_residual, 1e-9);
 }
 

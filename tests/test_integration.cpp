@@ -53,7 +53,7 @@ TEST_P(RestartByLevels, GmresConverges) {
   const SolveResult res = solver.solve(
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged)
+  EXPECT_TRUE(res.converged())
       << "restart=" << restart << " levels=" << levels
       << " iters=" << res.iterations;
 }
@@ -109,7 +109,7 @@ TEST_P(PathByColoring, GmresIrReachesTolerance) {
   const SolveResult res = solver.solve(
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   for (const double v : x) {
     ASSERT_NEAR(v, 1.0, 1e-5);
   }
@@ -158,7 +158,7 @@ TEST_P(GammaByRanks, DistributedGmresIrConverges) {
         comm,
         std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
         std::span<double>(x.data(), x.size()));
-    EXPECT_TRUE(res.converged) << "gamma=" << gamma << " ranks=" << ranks;
+    EXPECT_TRUE(res.converged()) << "gamma=" << gamma << " ranks=" << ranks;
     for (const double v : x) {
       ASSERT_NEAR(v, 1.0, 1e-4);
     }
@@ -315,7 +315,7 @@ TEST(FailureInjection, ZeroRhsIsHandled) {
   const SolveResult res =
       solver.solve(comm, std::span<const double>(zero.data(), zero.size()),
                    std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   for (const double v : x) {
     EXPECT_DOUBLE_EQ(v, 0.0);
   }

@@ -215,7 +215,7 @@ void test_gmres_ir_solve(Comm& comm, const ProcessGrid& pgrid) {
       comm,
       std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  HPGMX_CHECK_MSG(res.converged, "GMRES-IR failed to converge on MPI ranks");
+  HPGMX_CHECK_MSG(res.converged(), "GMRES-IR failed to converge on MPI ranks");
   for (const double v : x) {
     HPGMX_CHECK(std::abs(v - 1.0) < 1e-5);
   }

@@ -223,7 +223,7 @@ IrRun run_gmres_ir(int ranks, const BenchParams& params, SolverOptions opts,
 
   IrRun run;
   run.iterations = results[0].iterations;
-  run.converged = results[0].converged;
+  run.converged = results[0].converged();
   for (int r = 0; r < ranks; ++r) {
     EXPECT_EQ(results[static_cast<std::size_t>(r)].iterations,
               run.iterations);

@@ -565,7 +565,7 @@ TEST(GmresIr16Bit, Bf16ReachesDoubleTarget) {
   AlignedVector<double> x(h.levels[0].b.size(), 0.0);
   const SolveResult res =
       solve_ir<bf16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LT(res.relative_residual, 1e-9);
   for (const double v : x) {
     ASSERT_NEAR(v, 1.0, 1e-5);
@@ -578,7 +578,7 @@ TEST(GmresIr16Bit, Fp16ReachesDoubleTargetWhenWellScaled) {
   AlignedVector<double> x(h.levels[0].b.size(), 0.0);
   const SolveResult res =
       solve_ir<fp16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LT(res.relative_residual, 1e-9);
 }
 
@@ -593,7 +593,7 @@ TEST(GmresIr16Bit, Fp16OverflowsOnBadlyScaledSystemWithoutGuard) {
   const SolveResult res =
       solve_ir<fp16_t>(h, /*use_guard=*/false, {x.data(), x.size()},
                        /*max_iters=*/500);
-  EXPECT_FALSE(res.converged);
+  EXPECT_FALSE(res.converged());
   for (const double v : x) {
     ASSERT_TRUE(std::isfinite(v));
   }
@@ -606,7 +606,7 @@ TEST(GmresIr16Bit, Fp16ConvergesOnBadlyScaledSystemWithGuard) {
   AlignedVector<double> x(h.levels[0].b.size(), 0.0);
   const SolveResult res =
       solve_ir<fp16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LT(res.relative_residual, 1e-9);
   for (const double v : x) {
     ASSERT_NEAR(v, 1.0, 1e-5);
@@ -622,7 +622,7 @@ TEST(GmresIr16Bit, Bf16UnaffectedByBadScaling) {
   AlignedVector<double> x(h.levels[0].b.size(), 0.0);
   const SolveResult res =
       solve_ir<bf16_t>(h, /*use_guard=*/true, {x.data(), x.size()});
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
 }
 
 TEST(GmresIr16Bit, DistributedBf16SolveAgreesAcrossRanks) {
@@ -664,7 +664,7 @@ TEST(GmresIr16Bit, DistributedBf16SolveAgreesAcrossRanks) {
     }
   });
   for (int r = 0; r < kRanks; ++r) {
-    EXPECT_TRUE(results[static_cast<std::size_t>(r)].converged);
+    EXPECT_TRUE(results[static_cast<std::size_t>(r)].converged());
     EXPECT_EQ(results[static_cast<std::size_t>(r)].iterations,
               results[0].iterations);
   }

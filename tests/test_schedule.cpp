@@ -192,8 +192,8 @@ TEST(ScheduledMultigrid, UniformScheduleReproducesTheSingleFormatPath) {
   const SolveResult uniform = solve_scheduled<float>(
       h, params, *parse_precision_schedule("fp32,fp32,fp32"),
       {x_uniform.data(), x_uniform.size()});
-  ASSERT_TRUE(legacy.converged);
-  ASSERT_TRUE(uniform.converged);
+  ASSERT_TRUE(legacy.converged());
+  ASSERT_TRUE(uniform.converged());
   EXPECT_EQ(legacy.iterations, uniform.iterations);
   ASSERT_EQ(legacy.history.size(), uniform.history.size());
   for (std::size_t i = 0; i < legacy.history.size(); ++i) {
@@ -218,8 +218,8 @@ TEST(ScheduledMultigrid, MixedBf16CoarseMatchesUniformFp32WithinTolerance) {
   const SolveResult mixed = solve_scheduled<float>(
       h, params, *parse_precision_schedule("fp32,bf16"),
       {x_mixed.data(), x_mixed.size()});
-  ASSERT_TRUE(f32.converged);
-  ASSERT_TRUE(mixed.converged);
+  ASSERT_TRUE(f32.converged());
+  ASSERT_TRUE(mixed.converged());
   EXPECT_LT(mixed.relative_residual, 1e-9);
   // Residual histories track each other: no more than 50% extra outer
   // refinement steps, and the final accuracy is the same 1e-9 target.
@@ -242,7 +242,7 @@ TEST(ScheduledMultigrid, Fp16CoarseLevelsGuardedOnBadlyScaledSystem) {
   const SolveResult res = solve_scheduled<float>(
       h, params, *parse_precision_schedule("fp32,fp16"),
       {x.data(), x.size()});
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
   EXPECT_LT(res.relative_residual, 1e-9);
   for (const double v : x) {
     ASSERT_NEAR(v, 1.0, 1e-5);

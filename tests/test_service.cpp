@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/chaos.hpp"
 #include "comm/comm.hpp"
 #include "core/cg.hpp"
 #include "core/gmres_ir.hpp"
@@ -22,6 +23,19 @@
 
 namespace hpgmx {
 namespace {
+
+ServiceConfig svc_config(int workers, std::size_t queue,
+                         std::size_t cache) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue;
+  cfg.cache_entries = cache;
+  // Ambient HPGMX_CHAOS runs the whole service suite under fault injection
+  // (the sanitizer lanes do this); every assertion below must hold anyway,
+  // because chaos perturbs timing and ordering, never values.
+  cfg.chaos = ChaosConfig::from_env();
+  return cfg;
+}
 
 ProblemDescriptor small_descriptor() {
   ProblemDescriptor d;
@@ -163,7 +177,7 @@ TEST(OperatorCache, StatsTrackHitsMissesAndBytes) {
 // --------------------------------------------------------------------- queue
 
 TEST(SolverService, SecondSubmitOfIdenticalDescriptorHitsTheCache) {
-  SolverService service(ServiceConfig{1, 4, 4});
+  SolverService service(svc_config(1, 4, 4));
   SolveRequest req;
   req.desc = small_descriptor();
   const ServiceResult first = service.submit(req).get();
@@ -192,12 +206,12 @@ TEST(SolverService, ConcurrentSubmitsAreDeterministic) {
 
   ServiceResult reference;
   {
-    SolverService serial(ServiceConfig{1, 4, 4});
+    SolverService serial(svc_config(1, 4, 4));
     reference = serial.solve_now(req);
   }
   ASSERT_TRUE(reference.all_converged());
 
-  SolverService service(ServiceConfig{4, 16, 4});
+  SolverService service(svc_config(4, 16, 4));
   std::vector<std::future<ServiceResult>> tickets(8);
   std::vector<std::future<ServiceResult>> noise(4);
   std::vector<std::thread> submitters;
@@ -229,7 +243,7 @@ TEST(SolverService, ConcurrentSubmitsAreDeterministic) {
 TEST(SolverService, BoundedQueueStillCompletesEverything) {
   // capacity 1 on a single worker: submits block (backpressure) instead of
   // failing, and every ticket still resolves.
-  SolverService service(ServiceConfig{1, 1, 2});
+  SolverService service(svc_config(1, 1, 2));
   SolveRequest req;
   req.desc = small_descriptor();
   std::vector<std::future<ServiceResult>> tickets;
@@ -245,7 +259,7 @@ TEST(SolverService, ShutdownDrainsOutstandingRequests) {
   SolveRequest req;
   req.desc = small_descriptor();
   std::vector<std::future<ServiceResult>> tickets;
-  SolverService service(ServiceConfig{1, 8, 2});
+  SolverService service(svc_config(1, 8, 2));
   for (int i = 0; i < 4; ++i) {
     tickets.push_back(service.submit(req));
   }
@@ -259,7 +273,7 @@ TEST(SolverService, ShutdownDrainsOutstandingRequests) {
 TEST(SolverService, MultiRankRequestMatchesSingleRankIterations) {
   SolveRequest req;
   req.desc = small_descriptor();
-  SolverService service(ServiceConfig{1, 4, 4});
+  SolverService service(svc_config(1, 4, 4));
   const ServiceResult one = service.solve_now(req);
   req.desc.ranks = 2;
   const ServiceResult two = service.solve_now(req);
@@ -270,7 +284,7 @@ TEST(SolverService, MultiRankRequestMatchesSingleRankIterations) {
 }
 
 TEST(SolverService, CgAndGmresKindsSolveTheSymmetricProblem) {
-  SolverService service(ServiceConfig{1, 4, 4});
+  SolverService service(svc_config(1, 4, 4));
   for (const SolverKind kind :
        {SolverKind::Gmres, SolverKind::Cg, SolverKind::GmresIr}) {
     SolveRequest req;
@@ -283,7 +297,7 @@ TEST(SolverService, CgAndGmresKindsSolveTheSymmetricProblem) {
 }
 
 TEST(SolverService, GmresIrReportsTheRealizedPrecisionSequence) {
-  SolverService service(ServiceConfig{1, 4, 4});
+  SolverService service(svc_config(1, 4, 4));
 
   // Static GMRES-IR: every executed inner cycle ran the configured format.
   SolveRequest req;
@@ -377,7 +391,7 @@ TEST(ManyRhs, GmresIrBatchMatchesIndependentSolvesBitwise) {
       single = solver.solve(comm, b1.column(j),
                             std::span<double>(x.data(), x.size()));
     });
-    EXPECT_TRUE(single.converged);
+    EXPECT_TRUE(single.converged());
     EXPECT_EQ(single.iterations, batch_results[static_cast<std::size_t>(j)]
                                      .iterations) << "rhs " << j;
     EXPECT_EQ(single.relative_residual,
@@ -423,7 +437,7 @@ TEST(ManyRhs, CgBatchMatchesIndependentSolvesBitwise) {
     AlignedVector<double> x(n, 0.0);
     const SolveResult single = cg.solve(
         comm, rhs.column(j), std::span<double>(x.data(), x.size()));
-    EXPECT_TRUE(single.converged);
+    EXPECT_TRUE(single.converged());
     EXPECT_EQ(single.iterations,
               batch_results[static_cast<std::size_t>(j)].iterations);
     const auto xb = x_batch.column(j);
@@ -552,7 +566,7 @@ TEST(Scenarios, CoarsenedSpecHalvesPeriodsAndSquaresStretch) {
 }
 
 TEST(Scenarios, GmresIrConvergesOnEveryScenario) {
-  SolverService service(ServiceConfig{1, 4, 8});
+  SolverService service(svc_config(1, 4, 8));
   for (const Scenario sc : scenario_catalog()) {
     SolveRequest req;
     req.desc = small_descriptor();

@@ -147,7 +147,7 @@ TEST_P(GmresConfig, ConvergesOnBenchmarkProblem) {
   const SolveResult res = solver.solve(
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LT(res.relative_residual, 1e-9);
   // Exact solution is the ones vector.
   for (const double v : x) {
@@ -173,7 +173,7 @@ TEST(Gmres, UnpreconditionedStillConverges) {
   const SolveResult res = solver.solve(
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
 }
 
 TEST(Gmres, ResidualHistoryIsMonotonePerRestart) {
@@ -217,7 +217,7 @@ TEST(Gmres, FloatAloneStallsAboveDoubleTolerance) {
   const SolveResult res =
       solver.solve(comm, std::span<const float>(bf.data(), bf.size()),
                    std::span<float>(x.data(), x.size()));
-  EXPECT_FALSE(res.converged);
+  EXPECT_FALSE(res.converged());
   EXPECT_GT(res.relative_residual, 1e-9);
 }
 
@@ -236,7 +236,7 @@ TEST(GmresIr, ReachesDoubleAccuracy) {
   const SolveResult res = solver.solve(
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   EXPECT_LT(res.relative_residual, 1e-9);
   for (const double v : x) {
     ASSERT_NEAR(v, 1.0, 1e-5);
@@ -269,8 +269,8 @@ TEST(GmresIr, IterationOverheadIsBounded) {
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
 
-  ASSERT_TRUE(rd.converged);
-  ASSERT_TRUE(rir.converged);
+  ASSERT_TRUE(rd.converged());
+  ASSERT_TRUE(rir.converged());
   EXPECT_LE(rir.iterations, rd.iterations * 2)
       << "n_d=" << rd.iterations << " n_ir=" << rir.iterations;
 }
@@ -288,7 +288,7 @@ TEST(Cg, ConvergesOnSymmetricProblem) {
   const SolveResult res = cg.solve(
       comm, std::span<const double>(h.levels[0].b.data(), h.levels[0].b.size()),
       std::span<double>(x.data(), x.size()));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
   for (const double v : x) {
     ASSERT_NEAR(v, 1.0, 1e-5);
   }
@@ -333,7 +333,7 @@ TEST_P(DistributedSolve, ConvergesAndRanksAgree) {
     }
   });
   for (int r = 0; r < p; ++r) {
-    EXPECT_TRUE(results[static_cast<std::size_t>(r)].converged);
+    EXPECT_TRUE(results[static_cast<std::size_t>(r)].converged());
     EXPECT_EQ(results[static_cast<std::size_t>(r)].iterations,
               results[0].iterations);
   }

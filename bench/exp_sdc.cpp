@@ -1,0 +1,214 @@
+// Silent-data-corruption exhibit: the end-to-end SDC layer (base/fault.hpp)
+// exercised over the solver service — seeded value-fault injection, checksum
+// + residual-audit detection, and checkpoint/rollback recovery
+// (docs/RESILIENCE.md).
+//
+//   inject   bf16 GMRES-IR request with a scripted single bit flip (a high
+//            exponent bit of the outer iterate at cycle 3, rank 0): the
+//            growth audit must flag it, the solver must roll back to the
+//            last checkpoint, and the request must still converge to the
+//            outer 1e-9 with recoveries >= 1
+//   clean    the same request fault-free, detection on vs detection off:
+//            per-RHS iterations and residuals must match bit-for-bit — the
+//            detection machinery (checksum lanes, verdict lanes, checkpoint
+//            copies) must not perturb a healthy solve
+//   repro    the injected scenario run twice under one HPGMX_FAULT_SEED:
+//            flip sites, detection cycles, and recovered solutions are a
+//            pure function of the seed, so the two runs must be bitwise
+//            identical
+//
+// Exit-code gates (CI runs this via bench/run_bench.sh):
+//   - the injected flip is detected and recovered (converged, recoveries>=1),
+//   - the clean detection-on run is bit-identical to detection-off,
+//   - same-seed injected runs are bit-identical to each other.
+//
+//   $ ./exp_sdc [--json]
+//
+// Env: HPGMX_NX / HPGMX_RANKS scale the descriptor; HPGMX_FAULT overrides
+// the built-in flip spec; HPGMX_FAULT_SEED reseeds it; HPGMX_AUDIT* /
+// HPGMX_CHECKPOINT* tune the detection/recovery policy.
+#include <cstdio>
+#include <string>
+
+#include "exhibit_common.hpp"
+#include "service/solver_service.hpp"
+
+namespace {
+
+using namespace hpgmx;
+
+/// Observable fingerprint of a served request: equality means the solves
+/// were bitwise identical (iterations count every reduction decision and the
+/// residuals are the reduced doubles themselves).
+bool bit_identical(const ServiceResult& a, const ServiceResult& b) {
+  if (a.status != b.status || a.recoveries != b.recoveries ||
+      a.rhs.size() != b.rhs.size()) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.rhs.size(); ++j) {
+    if (a.rhs[j].iterations != b.rhs[j].iterations ||
+        a.rhs[j].recoveries != b.rhs[j].recoveries ||
+        a.rhs[j].relative_residual != b.rhs[j].relative_residual) {
+      return false;
+    }
+  }
+  return a.realized_precisions == b.realized_precisions;
+}
+
+const char* status_name(SolveStatus s) {
+  return solve_status_name(s).data();  // views of NUL-terminated literals
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hpgmx::bench::ExhibitConfig;
+  using hpgmx::bench::has_flag;
+  const bool json = has_flag(argc, argv, "--json");
+
+  const ExhibitConfig cfg = ExhibitConfig::from_env(/*default_n=*/16);
+  ProblemDescriptor desc = ProblemDescriptor::from_bench_params(
+      cfg.params, cfg.ranks, SolverKind::GmresIr);
+  desc.inner_precision = Precision::Bf16;
+  desc.schedule = PrecisionSchedule{};  // uniform bf16 inner stack
+  desc.tol = 1e-9;
+
+  // The scripted flip: with HPGMX_FAULT set the env spec wins, otherwise a
+  // single high-exponent-bit flip in the outer (double) iterate at cycle 3
+  // on rank 0. By cycle 3 the best-residual baseline is tight, so the
+  // residual jump from the corrupted element exceeds the growth threshold
+  // and the audit must flag it (earlier cycles still carry an O(1)
+  // baseline that a magnitude-shrinking flip can hide under); scripted so
+  // the exhibit is deterministic under the default seed.
+  FaultConfig fault = FaultConfig::from_env();
+  if (!fault.enabled()) {
+    const std::uint64_t seed = fault.seed;  // HPGMX_FAULT_SEED still applies
+    fault = FaultConfig::parse("flip:1,target:vec,bit:57,iter:3,count:1,rank:0");
+    fault.seed = seed;
+  }
+  SdcPolicy sdc = SdcPolicy::from_env();
+  sdc.detect = true;
+
+  SolveRequest req;
+  req.desc = desc;
+
+  if (!json) {
+    hpgmx::bench::banner(
+        "exp_sdc — silent-data-corruption hardening: seeded bit flips, "
+        "checksum + residual-audit detection, checkpoint/rollback recovery",
+        "value-level fault model on top of the HPG-MxP mixed-precision "
+        "pipeline");
+    std::printf("descriptor: %s\nfault: %s  seed: %llu\n",
+                desc.canonical().c_str(), fault.to_string().c_str(),
+                static_cast<unsigned long long>(fault.seed));
+  }
+
+  // -- inject: scripted flip, detection on ---------------------------------
+  ServiceResult injected;
+  ServiceResult injected_again;
+  {
+    ServiceConfig scfg;
+    scfg.fault = fault;
+    scfg.sdc = sdc;
+    SolverService svc(scfg);
+    injected = svc.solve_now(req);
+    // Fresh service (fresh injector state), same seed: the repro leg.
+    SolverService again(scfg);
+    injected_again = again.solve_now(req);
+  }
+  const bool gate_recover = injected.status == SolveStatus::Converged &&
+                            injected.recoveries >= 1;
+
+  // -- clean: fault-free, detection on vs off ------------------------------
+  ServiceResult detect_off;
+  ServiceResult detect_on;
+  {
+    ServiceConfig plain;
+    SolverService off(plain);
+    detect_off = off.solve_now(req);
+
+    ServiceConfig audited;
+    audited.sdc = sdc;
+    SolverService on(audited);
+    detect_on = on.solve_now(req);
+  }
+  const bool gate_clean = detect_off.status == SolveStatus::Converged &&
+                          detect_on.recoveries == 0 &&
+                          bit_identical(detect_on, detect_off);
+
+  const bool gate_repro = bit_identical(injected, injected_again);
+
+  const bool ok = gate_recover && gate_clean && gate_repro;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"exhibit\": \"sdc\",\n");
+    std::printf(
+        "  \"config\": {\"nx\": %d, \"ranks\": %d, \"precision\": \"%s\", "
+        "\"tol\": %.3g, \"fault\": \"%s\", \"fault_seed\": %llu, "
+        "\"audit_interval\": %d, \"checkpoint_interval\": %d, "
+        "\"recovery_budget\": %d, \"descriptor_hash\": \"%016llx\"},\n",
+        static_cast<int>(cfg.params.nx), cfg.ranks,
+        std::string(precision_name(desc.inner_precision)).c_str(), desc.tol,
+        fault.to_string().c_str(),
+        static_cast<unsigned long long>(fault.seed), sdc.audit_interval,
+        sdc.checkpoint_interval, sdc.max_recoveries,
+        static_cast<unsigned long long>(desc.hash()));
+    std::printf(
+        "  \"inject\": {\"status\": \"%s\", \"iterations\": %d, "
+        "\"relres\": %.3e, \"recoveries\": %d},\n",
+        status_name(injected.status),
+        injected.rhs.empty() ? -1 : injected.rhs[0].iterations,
+        injected.rhs.empty() ? 0.0 : injected.rhs[0].relative_residual,
+        injected.recoveries);
+    std::printf(
+        "  \"clean\": {\"detect_off_iterations\": %d, "
+        "\"detect_on_iterations\": %d, \"detect_off_relres\": %.17e, "
+        "\"detect_on_relres\": %.17e, \"bit_identical\": %s},\n",
+        detect_off.rhs.empty() ? -1 : detect_off.rhs[0].iterations,
+        detect_on.rhs.empty() ? -1 : detect_on.rhs[0].iterations,
+        detect_off.rhs.empty() ? 0.0 : detect_off.rhs[0].relative_residual,
+        detect_on.rhs.empty() ? 0.0 : detect_on.rhs[0].relative_residual,
+        gate_clean ? "true" : "false");
+    std::printf(
+        "  \"repro\": {\"first_iterations\": %d, \"second_iterations\": %d, "
+        "\"first_recoveries\": %d, \"second_recoveries\": %d, "
+        "\"bit_identical\": %s},\n",
+        injected.rhs.empty() ? -1 : injected.rhs[0].iterations,
+        injected_again.rhs.empty() ? -1 : injected_again.rhs[0].iterations,
+        injected.recoveries, injected_again.recoveries,
+        gate_repro ? "true" : "false");
+    std::printf(
+        "  \"gates\": {\"detect_and_recover\": %s, \"clean_bit_identical\": "
+        "%s, \"seed_reproducible\": %s}\n",
+        gate_recover ? "true" : "false", gate_clean ? "true" : "false",
+        gate_repro ? "true" : "false");
+    std::printf("}\n");
+  } else {
+    std::printf("\ninject : %s after %d iters, relres %.2e, %d "
+                "recover%s (flip %s)\n",
+                status_name(injected.status),
+                injected.rhs.empty() ? -1 : injected.rhs[0].iterations,
+                injected.rhs.empty() ? 0.0
+                                     : injected.rhs[0].relative_residual,
+                injected.recoveries, injected.recoveries == 1 ? "y" : "ies",
+                fault.to_string().c_str());
+    std::printf("clean  : detect-off %d iters vs detect-on %d iters — %s\n",
+                detect_off.rhs.empty() ? -1 : detect_off.rhs[0].iterations,
+                detect_on.rhs.empty() ? -1 : detect_on.rhs[0].iterations,
+                gate_clean ? "bit-identical" : "MISMATCH");
+    std::printf("repro  : run1 %d iters / %d recoveries vs run2 %d / %d — "
+                "%s\n",
+                injected.rhs.empty() ? -1 : injected.rhs[0].iterations,
+                injected.recoveries,
+                injected_again.rhs.empty() ? -1
+                                           : injected_again.rhs[0].iterations,
+                injected_again.recoveries,
+                gate_repro ? "bit-identical" : "MISMATCH");
+    std::printf("\ngates: detect_and_recover=%s clean_bit_identical=%s "
+                "seed_reproducible=%s -> %s\n",
+                gate_recover ? "pass" : "FAIL", gate_clean ? "pass" : "FAIL",
+                gate_repro ? "pass" : "FAIL", ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}

@@ -188,10 +188,11 @@ int main(int argc, char** argv) {
     std::printf(
         "  \"cold\": {\"setup_seconds\": %.6f, \"solve_seconds\": %.6f, "
         "\"solves_per_sec\": %.3f, \"iterations\": %d, \"relres\": %.3e, "
-        "\"status\": \"%s\", \"attempts\": %zu},\n",
+        "\"status\": \"%s\", \"attempts\": %zu, \"recoveries\": %d},\n",
         cold.res.setup_seconds, cold.res.solve_seconds, cold.solves_per_sec(),
         cold.res.rhs[0].iterations, cold.res.rhs[0].relative_residual,
-        solve_status_name(cold.res.status).data(), cold.res.attempts.size());
+        solve_status_name(cold.res.status).data(), cold.res.attempts.size(),
+        cold.res.recoveries);
     std::printf("  \"batches\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const BatchRow& r = rows[i];
@@ -199,12 +200,13 @@ int main(int argc, char** argv) {
           "    {\"batch\": %d, \"cache_hit\": %s, \"setup_seconds\": %.6f, "
           "\"solve_seconds\": %.6f, \"solves_per_sec\": %.3f, "
           "\"iterations_per_rhs\": %d, \"max_relres\": %.3e, "
-          "\"status\": \"%s\", \"attempts\": %zu, "
+          "\"status\": \"%s\", \"attempts\": %zu, \"recoveries\": %d, "
           "\"all_converged\": %s}%s\n",
           r.batch, r.res.cache_hit ? "true" : "false", r.res.setup_seconds,
           r.res.solve_seconds, r.solves_per_sec(), r.res.rhs[0].iterations,
           r.max_relres(), solve_status_name(r.res.status).data(),
-          r.res.attempts.size(), r.res.all_converged() ? "true" : "false",
+          r.res.attempts.size(), r.res.recoveries,
+          r.res.all_converged() ? "true" : "false",
           i + 1 < rows.size() ? "," : "");
     }
     std::printf("  ],\n");
@@ -228,10 +230,13 @@ int main(int argc, char** argv) {
     std::printf("  ],\n");
     std::printf(
         "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": "
-        "%llu, \"entries\": %zu, \"bytes\": %zu},\n",
+        "%llu, \"admission_rejects\": %llu, \"eviction_skips\": %llu, "
+        "\"entries\": %zu, \"bytes\": %zu},\n",
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.misses),
-        static_cast<unsigned long long>(cache.evictions), cache.entries,
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.admission_rejects),
+        static_cast<unsigned long long>(cache.eviction_skips), cache.entries,
         cache.bytes);
     std::printf(
         "  \"gates\": {\"warm_cache_hit\": %s, "

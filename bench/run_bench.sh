@@ -2,7 +2,7 @@
 # Produce the benchmark-artifact JSONs:
 #
 #   bench/run_bench.sh [kernels.json] [throughput.json] [adaptive.json] \
-#                      [resilience.json]
+#                      [resilience.json] [sdc.json]
 #
 #   BENCH_kernels.json     — kernel microbenchmarks (micro_kernels --json)
 #   BENCH_throughput.json  — solver-service throughput exhibit
@@ -11,14 +11,19 @@
 #                            (exp_adaptive --json)
 #   BENCH_resilience.json  — deadlines, retry-with-promotion, chaos
 #                            determinism (exp_resilience --json)
+#   BENCH_sdc.json         — silent-data-corruption hardening: seeded fault
+#                            injection, detection, checkpoint/rollback
+#                            recovery (exp_sdc --json)
 #
 # Env: BUILD_DIR (default: build), plus the usual HPGMX_* scale knobs
 # (HPGMX_NX, HPGMX_BENCH_SECONDS, HPGMX_SERVICE_WORKERS, HPGMX_BATCH_MAX,
-# HPGMX_CHAOS, HPGMX_DEADLINE_MS, ...). Exits nonzero when any gate fails —
-# the 16-bit byte-model gates of micro_kernels, the cache-hit /
-# batched-throughput / convergence gates of exp_throughput, the
-# adaptive-bytes-vs-static gates of exp_adaptive, and the deadline / retry /
-# chaos-determinism gates of exp_resilience — so CI can call this directly.
+# HPGMX_CHAOS, HPGMX_DEADLINE_MS, HPGMX_FAULT, HPGMX_FAULT_SEED, ...).
+# Exits nonzero when any gate fails — the 16-bit byte-model gates of
+# micro_kernels, the cache-hit / batched-throughput / convergence gates of
+# exp_throughput, the adaptive-bytes-vs-static gates of exp_adaptive, the
+# deadline / retry / chaos-determinism gates of exp_resilience, and the
+# detect-and-recover / clean-bit-identical / seed-reproducible gates of
+# exp_sdc — so CI can call this directly.
 set -eu
 
 BUILD_DIR=${BUILD_DIR:-build}
@@ -26,12 +31,15 @@ KERNELS_OUT=${1:-BENCH_kernels.json}
 THROUGHPUT_OUT=${2:-BENCH_throughput.json}
 ADAPTIVE_OUT=${3:-BENCH_adaptive.json}
 RESILIENCE_OUT=${4:-BENCH_resilience.json}
+SDC_OUT=${5:-BENCH_sdc.json}
 KERNELS_BIN="$BUILD_DIR/bench/micro_kernels"
 THROUGHPUT_BIN="$BUILD_DIR/bench/exp_throughput"
 ADAPTIVE_BIN="$BUILD_DIR/bench/exp_adaptive"
 RESILIENCE_BIN="$BUILD_DIR/bench/exp_resilience"
+SDC_BIN="$BUILD_DIR/bench/exp_sdc"
 
-for bin in "$KERNELS_BIN" "$THROUGHPUT_BIN" "$ADAPTIVE_BIN" "$RESILIENCE_BIN"; do
+for bin in "$KERNELS_BIN" "$THROUGHPUT_BIN" "$ADAPTIVE_BIN" \
+           "$RESILIENCE_BIN" "$SDC_BIN"; do
   if [ ! -x "$bin" ]; then
     echo "run_bench.sh: $bin not found — build first (cmake --build $BUILD_DIR)" >&2
     exit 2
@@ -49,3 +57,6 @@ echo "run_bench.sh: wrote $ADAPTIVE_OUT" >&2
 
 "$RESILIENCE_BIN" --json > "$RESILIENCE_OUT"
 echo "run_bench.sh: wrote $RESILIENCE_OUT" >&2
+
+"$SDC_BIN" --json > "$SDC_OUT"
+echo "run_bench.sh: wrote $SDC_OUT" >&2

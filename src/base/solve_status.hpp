@@ -13,6 +13,7 @@ enum class SolveStatus {
   Converged,         ///< relative residual reached the tolerance
   Stagnated,         ///< iteration budget exhausted above the tolerance
   NonFinite,         ///< inner basis/correction non-finite, guard exhausted
+  Corrupted,         ///< SDC detected and the recovery budget was exhausted
   DeadlineExceeded,  ///< cooperative deadline tripped mid-solve
   Cancelled,         ///< cancellation token tripped mid-solve
   Rejected,          ///< request refused before any iteration (e.g. 0 RHS)
@@ -26,6 +27,8 @@ enum class SolveStatus {
       return "stagnated";
     case SolveStatus::NonFinite:
       return "non_finite";
+    case SolveStatus::Corrupted:
+      return "corrupted";
     case SolveStatus::DeadlineExceeded:
       return "deadline_exceeded";
     case SolveStatus::Cancelled:

@@ -7,7 +7,11 @@
 //   HPGMX_CHAOS=delay:0.25,reorder:0.5,slow_rank:1   HPGMX_CHAOS_SEED=42
 //
 // Faults are timing-and-ordering perturbations only — values are never
-// altered, dropped, or duplicated:
+// altered, dropped, or duplicated. (The one deliberate exception: when a
+// FaultInjector with target:halo is attached, received point-to-point
+// payloads — halo traffic — get seeded bit flips after the inner receive
+// completes. That is the SDC harness's entry point, see base/fault.hpp;
+// without an attached injector the layer stays bit-transparent.)
 //
 //   reorder:p    sends are withheld and delivered at this rank's next
 //                progress point (a blocking receive, a wait on a
@@ -41,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/fault.hpp"
 #include "base/rng.hpp"
 #include "comm/comm.hpp"
 
@@ -73,9 +78,11 @@ struct ChaosConfig {
 /// inner Comm; destruction flushes any still-withheld sends.
 class ChaosComm final : public Comm {
  public:
-  ChaosComm(Comm& inner, const ChaosConfig& cfg)
+  ChaosComm(Comm& inner, const ChaosConfig& cfg,
+            FaultInjector* fault = nullptr)
       : inner_(&inner),
         cfg_(cfg),
+        fault_(fault),
         // Per-rank stream salt: distinct ranks draw independent sequences
         // from one seed without sharing any generator state.
         stream_(splitmix64(cfg.seed) ^
@@ -100,6 +107,7 @@ class ChaosComm final : public Comm {
   void recv_bytes(int src, int tag, void* data, std::size_t bytes) override {
     flush();
     inner_->recv_bytes(src, tag, data, bytes);
+    maybe_corrupt(data, bytes);
     maybe_delay();
   }
   Request isend_bytes(int dst, int tag, const void* data,
@@ -116,7 +124,7 @@ class ChaosComm final : public Comm {
   Request irecv_bytes(int src, int tag, void* data,
                       std::size_t bytes) override {
     return Request(std::make_shared<PerturbedRecv>(
-        this, inner_->irecv_bytes(src, tag, data, bytes)));
+        this, inner_->irecv_bytes(src, tag, data, bytes), data, bytes));
   }
 
   void barrier() override {
@@ -173,20 +181,26 @@ class ChaosComm final : public Comm {
 
   /// wait(): release withheld sends first (two chaotic ranks waiting on
   /// each other must not both sit on undelivered messages), complete the
-  /// inner receive, then perhaps hold the waiter.
+  /// inner receive, corrupt the landed payload if a halo fault is armed,
+  /// then perhaps hold the waiter.
   class PerturbedRecv final : public Request::State {
    public:
-    PerturbedRecv(ChaosComm* owner, Request inner)
-        : owner_(owner), inner_(std::move(inner)) {}
+    PerturbedRecv(ChaosComm* owner, Request inner, void* data,
+                  std::size_t bytes)
+        : owner_(owner), inner_(std::move(inner)), data_(data),
+          bytes_(bytes) {}
     void wait() override {
       owner_->flush();
       inner_.wait();
+      owner_->maybe_corrupt(data_, bytes_);
       owner_->maybe_delay();
     }
 
    private:
     ChaosComm* owner_;
     Request inner_;
+    void* data_;
+    std::size_t bytes_ = 0;
   };
 
   void withhold(int dst, int tag, const void* data, std::size_t bytes) {
@@ -196,6 +210,16 @@ class ChaosComm final : public Comm {
     p.data.resize(bytes);
     std::memcpy(p.data.data(), data, bytes);
     pending_.push_back(std::move(p));
+  }
+
+  /// Point-to-point traffic in the solvers is exclusively halo exchange, so
+  /// a landed receive is exactly the halo-payload fault site. Byte-granular
+  /// (elem_bytes = 1): the wire format is opaque at this layer.
+  void maybe_corrupt(void* data, std::size_t bytes) {
+    if (fault_ != nullptr && fault_->armed(FaultTarget::Halo)) {
+      fault_->maybe_flip(FaultTarget::Halo,
+                         {static_cast<std::byte*>(data), bytes}, 1);
+    }
   }
 
   void maybe_delay() {
@@ -215,6 +239,7 @@ class ChaosComm final : public Comm {
 
   Comm* inner_;
   ChaosConfig cfg_;
+  FaultInjector* fault_;
   std::uint64_t stream_;
   std::uint64_t draws_ = 0;
   std::vector<PendingSend> pending_;

@@ -13,6 +13,7 @@
 // the transfers before boundary rows are processed.
 #pragma once
 
+#include <bit>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "base/epoch.hpp"
 #include "base/error.hpp"
 #include "base/event_sink.hpp"
+#include "base/fault.hpp"
 #include "base/types.hpp"
 #include "comm/comm.hpp"
 
@@ -73,6 +75,33 @@ class HaloExchange {
 
   [[nodiscard]] const HaloPattern& pattern() const { return *pattern_; }
 
+  /// Enable (non-null) or disable (null) SDC checksums. With a monitor
+  /// attached, every message carries one extra T element — the additive
+  /// checksum of its payload bit patterns — receives land in staging
+  /// buffers, and finish() verifies before copying the payload into the
+  /// halo region; a mismatch flags the monitor. Both endpoints of a pair
+  /// must agree on the mode (message lengths differ by one element), which
+  /// the service guarantees by applying one policy to every rank. On clean
+  /// runs the staged copy delivers byte-identical halo contents, so
+  /// detection-on results stay bit-identical to detection-off.
+  void set_sdc_monitor(SdcMonitor* monitor) {
+    HPGMX_CHECK_MSG(!in_flight_, "set_sdc_monitor() during an exchange");
+    sdc_ = monitor;
+    const std::size_t extra = monitor != nullptr ? 1 : 0;
+    for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
+      send_buffers_[n].resize(pattern_->neighbors[n].send_indices.size() +
+                              extra);
+    }
+    recv_buffers_.clear();
+    if (monitor != nullptr) {
+      recv_buffers_.resize(pattern_->neighbors.size());
+      for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
+        recv_buffers_[n].resize(
+            static_cast<std::size_t>(pattern_->neighbors[n].recv_count) + 1);
+      }
+    }
+  }
+
   /// Blocking exchange: pack, post, wait, all in one call.
   void exchange(Comm& comm, std::span<T> x,
                 EventSink* sink = &null_event_sink()) {
@@ -96,6 +125,10 @@ class HaloExchange {
       for (std::size_t k = 0; k < nb.send_indices.size(); ++k) {
         buf[k] = x[static_cast<std::size_t>(nb.send_indices[k])];
       }
+      if (sdc_ != nullptr) {
+        buf[nb.send_indices.size()] =
+            additive_checksum(buf.data(), nb.send_indices.size());
+      }
     }
     const double t_pack1 = epoch_seconds();
     sink->record(comm.rank(), "halo", "pack", t_pack0, t_pack1);
@@ -108,13 +141,19 @@ class HaloExchange {
     // a reordering of the identical transfers.
     recv_requests_.clear();
     recv_requests_.reserve(pattern_->neighbors.size());
+    halo_base_ = x.data() + pattern_->n_owned;
     for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
       const HaloNeighbor& nb = pattern_->neighbors[n];
-      T* recv_ptr =
-          x.data() + pattern_->n_owned + static_cast<std::size_t>(nb.recv_offset);
-      recv_requests_.push_back(comm.irecv(
-          nb.rank, tag_,
-          std::span<T>(recv_ptr, static_cast<std::size_t>(nb.recv_count))));
+      // Checksummed receives land in staging (payload + checksum) and are
+      // verified, then copied into the halo, in finish(); plain receives
+      // keep the zero-copy landing directly in x's halo region.
+      T* recv_ptr = sdc_ != nullptr
+                        ? recv_buffers_[n].data()
+                        : halo_base_ + static_cast<std::size_t>(nb.recv_offset);
+      const std::size_t recv_len =
+          static_cast<std::size_t>(nb.recv_count) + (sdc_ != nullptr ? 1 : 0);
+      recv_requests_.push_back(
+          comm.irecv(nb.rank, tag_, std::span<T>(recv_ptr, recv_len)));
     }
     send_requests_.clear();
     send_requests_.reserve(pattern_->neighbors.size());
@@ -140,6 +179,25 @@ class HaloExchange {
       req.wait();
     }
     recv_requests_.clear();
+    if (sdc_ != nullptr) {
+      using U = uint_bits_t<T>;
+      for (std::size_t n = 0; n < pattern_->neighbors.size(); ++n) {
+        const HaloNeighbor& nb = pattern_->neighbors[n];
+        const AlignedVector<T>& buf = recv_buffers_[n];
+        const std::size_t count = static_cast<std::size_t>(nb.recv_count);
+        const T computed = additive_checksum(buf.data(), count);
+        if (std::bit_cast<U>(computed) != std::bit_cast<U>(buf[count])) {
+          sdc_->flag_checksum();
+        }
+        // Deliver the payload even on mismatch: the verdict lane, not this
+        // rank alone, decides the rollback, so every rank must keep walking
+        // the same deterministic path until the reduced verdict lands.
+        T* dst = halo_base_ + static_cast<std::size_t>(nb.recv_offset);
+        for (std::size_t k = 0; k < count; ++k) {
+          dst[k] = buf[k];
+        }
+      }
+    }
     // Sends must also complete before the epoch closes: the next begin()
     // repacks send_buffers_, which a still-in-flight MPI isend may be
     // reading from.
@@ -155,13 +213,18 @@ class HaloExchange {
   /// True between begin() and finish() — the epoch guard tests probe this.
   [[nodiscard]] bool in_flight() const { return in_flight_; }
 
-  /// Bytes moved over the (virtual) network by one exchange, both directions.
+  /// Bytes moved over the (virtual) network by one exchange, both
+  /// directions. With checksums enabled each message carries one extra T —
+  /// the whole cost model of the detection layer.
   [[nodiscard]] std::size_t bytes_per_exchange() const {
     std::size_t bytes = 0;
     for (const auto& nb : pattern_->neighbors) {
       bytes += (nb.send_indices.size() +
                 static_cast<std::size_t>(nb.recv_count)) *
                sizeof(T);
+    }
+    if (sdc_ != nullptr) {
+      bytes += 2 * pattern_->neighbors.size() * sizeof(T);
     }
     return bytes;
   }
@@ -170,8 +233,11 @@ class HaloExchange {
   const HaloPattern* pattern_;
   int tag_;
   std::vector<AlignedVector<T>> send_buffers_;
+  std::vector<AlignedVector<T>> recv_buffers_;  ///< checksum-mode staging
   std::vector<Request> recv_requests_;
   std::vector<Request> send_requests_;
+  SdcMonitor* sdc_ = nullptr;
+  T* halo_base_ = nullptr;  ///< x.data() + n_owned, retained from begin()
   bool in_flight_ = false;
   double t_begin_done_ = 0.0;
 };

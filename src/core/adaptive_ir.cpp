@@ -27,10 +27,13 @@ struct AdaptiveGmresIr::Stack final : AdaptiveGmresIr::StackBase {
   }
 
   SolveResult run(Comm& comm, std::span<const double> b, std::span<double> x,
-                  const SolverOptions& opts) override {
+                  const SolverOptions& opts, SdcMonitor* monitor,
+                  FaultInjector* injector) override {
     GmresIr<TLow> solver(a_high_, &mg_low_->level_op(0), mg_low_.get(), opts);
     solver.set_scale_guard(&guard_);
     solver.set_cycle_observer(observer_);
+    solver.set_sdc(monitor);
+    solver.set_fault_injector(injector);
     return solver.solve(comm, b, x);
   }
 
@@ -107,8 +110,9 @@ SolveResult AdaptiveGmresIr::solve(Comm& comm, std::span<const double> b,
     ensure_stack();
     SolverOptions o = opts_;
     o.max_iters = budget;
-    const SolveResult seg = stack_->run(comm, b, x, o);
+    const SolveResult seg = stack_->run(comm, b, x, o, monitor_, injector_);
     total.iterations += seg.iterations;
+    total.recoveries += seg.recoveries;
     total.status = seg.status;
     total.relative_residual = seg.relative_residual;
     total.final_precision = seg.final_precision;

@@ -62,6 +62,11 @@ class AdaptiveGmresIr {
   /// The controller (rung trajectory, per-cycle records, promotions).
   [[nodiscard]] const PrecisionController& controller() const { return ctrl_; }
 
+  /// Attach the per-rank SDC monitor / fault injector; forwarded into every
+  /// rung's GmresIr stack (survives promotions — Stack::run re-attaches).
+  void set_sdc(SdcMonitor* monitor) { monitor_ = monitor; }
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Modeled main-memory bytes of every inner cycle executed so far: each
   /// CycleRecord charged ir_inner_iteration_bytes at the schedule its rung
   /// actually ran (per-level value widths + the runtime ELL index widths).
@@ -74,7 +79,8 @@ class AdaptiveGmresIr {
   struct StackBase {
     virtual ~StackBase() = default;
     virtual SolveResult run(Comm& comm, std::span<const double> b,
-                            std::span<double> x, const SolverOptions& opts) = 0;
+                            std::span<double> x, const SolverOptions& opts,
+                            SdcMonitor* monitor, FaultInjector* injector) = 0;
   };
   template <typename TLow>
   struct Stack;
@@ -94,6 +100,8 @@ class AdaptiveGmresIr {
   DistOperator<double> a_high_;
   std::unique_ptr<StackBase> stack_;
   int stack_rung_ = -1;
+  SdcMonitor* monitor_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hpgmx

@@ -6,8 +6,10 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "base/aligned_vector.hpp"
+#include "base/fault.hpp"
 #include "blas/vector_ops.hpp"
 #include "core/dist_operator.hpp"
 #include "core/gmres.hpp"
@@ -50,6 +52,20 @@ class SymmetricMultigrid {
       op.set_stats(stats);
     }
     stats_ = stats;
+  }
+
+  /// Attach/detach the SDC monitor on every level's halo exchange.
+  void set_sdc_monitor(SdcMonitor* monitor) {
+    for (auto& op : ops_) {
+      op.set_sdc_monitor(monitor);
+    }
+  }
+
+  /// Re-demote every level from its double source (SDC-rollback repair).
+  void redemote() {
+    for (auto& op : ops_) {
+      op.redemote();
+    }
   }
 
   void apply(Comm& comm, std::span<const T> r, std::span<T> z) {
@@ -126,6 +142,21 @@ class ConjugateGradient {
     }
   }
 
+  /// Attach the per-rank SDC monitor (checksummed halos on the operator and
+  /// every preconditioner level; verdict lane on the packed reductions when
+  /// opts.sdc is on). Null detaches.
+  void set_sdc(SdcMonitor* monitor) {
+    monitor_ = monitor;
+    a_->set_sdc_monitor(monitor);
+    if (mg_ != nullptr) {
+      mg_->set_sdc_monitor(monitor);
+    }
+  }
+
+  /// Attach the per-rank fault injector (target:vec flips the iterate,
+  /// target:values corrupts stored nonzeros). Null detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   SolveResult solve(Comm& comm, std::span<const T> b, std::span<T> x) {
     const local_index_t n = a_->num_owned();
     AlignedVector<T> x_full(static_cast<std::size_t>(a_->vec_len()), T(0));
@@ -139,6 +170,20 @@ class ConjugateGradient {
     const SolveControl& ctl = opts_.control;
     const bool control_active = ctl.active();
     TripCause trip = TripCause::None;
+    // SDC detection state. CG audits by recurrence-vs-true residual drift:
+    // every audit_interval iterations the true ‖b − A·x‖² rides one extra
+    // lane on the existing packed reduction and is compared against the
+    // recurrence ‖r‖². The rollback point refreshes only on iterations whose
+    // audit came back clean, so a checkpoint can never capture corrupted
+    // state that a later audit would flag.
+    const bool sdc_active = opts_.sdc.detect;
+    const double drift_limit =
+        opts_.sdc.audit_drift *
+        static_cast<double>(PrecisionTraits<T>::unit_roundoff);
+    bool sdc_verdict = false;
+    bool restart_direction = false;
+    AlignedVector<T> ckpt_x;
+    AlignedVector<T> r_audit;
     double rho0;
     {
       ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
@@ -154,6 +199,10 @@ class ConjugateGradient {
     }
     a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
                  std::span<T>(r.data(), r.size()));
+    if (sdc_active) {
+      ckpt_x = x_full;
+      r_audit.assign(r.size(), T(0));
+    }
     // ‖r‖² of the initial residual; every later iteration carries the local
     // partial out of the fused residual-update pass (waxpby_norm) below.
     // The allreduce itself runs per-scalar, or rides with ⟨r,z⟩ in one
@@ -164,23 +213,54 @@ class ConjugateGradient {
       rho2_local = dot_span_blocked(std::span<const T>(r.data(), r.size()),
                                     std::span<const T>(r.data(), r.size()));
     }
-    // Widened-by-one-lane variant of an existing Sum reduction: entry 0 is
-    // bit-identical to the stand-alone scalar reduce, the last entry is the
-    // deadline/cancel trip vote (base/cancel.hpp) — zero new collectives.
-    const auto reduce_with_trip = [&](double value_local) {
-      const std::array<double, 2> local{value_local,
-                                        ctl.trip_lane(comm.size())};
-      std::array<double, 2> global{};
-      comm.allreduce(std::span<const double>(local.data(), local.size()),
-                     std::span<double>(global.data(), global.size()),
-                     ReduceOp::Sum);
-      trip = SolveControl::decode_trip(global[1], comm.size());
+    // Widened-by-lanes variant of an existing Sum reduction: entry 0 is
+    // bit-identical to the stand-alone scalar reduce; the conditional extra
+    // lanes carry the deadline/cancel trip vote (base/cancel.hpp), the SDC
+    // checksum verdict, and — on audit iterations — the local true-residual
+    // ‖b − A·x‖² partial. Zero new collectives; every decoded quantity is
+    // allreduce-derived, hence rank-uniform.
+    const auto reduce_lanes = [&](double value_local, bool audit_now,
+                                  double audit_local) {
+      std::array<double, 4> local{};
+      std::size_t lanes = 0;
+      local[lanes++] = value_local;
+      if (control_active) {
+        local[lanes++] = ctl.trip_lane(comm.size());
+      }
+      if (sdc_active) {
+        local[lanes++] = monitor_ != nullptr ? monitor_->lane() : 0.0;
+      }
+      if (audit_now) {
+        local[lanes++] = audit_local;
+      }
+      std::array<double, 4> global{};
+      comm.allreduce(std::span<const double>(local.data(), lanes),
+                     std::span<double>(global.data(), lanes), ReduceOp::Sum);
+      std::size_t gi = 1;
+      if (control_active) {
+        trip = SolveControl::decode_trip(global[gi++], comm.size());
+      }
+      if (sdc_active) {
+        sdc_verdict = SdcMonitor::decode(global[gi++]);
+      }
+      if (audit_now) {
+        const double drift =
+            std::abs(std::sqrt(global[gi]) - std::sqrt(global[0]));
+        if (!(drift <= drift_limit * rho0)) {
+          sdc_verdict = true;  // also catches NaN drift
+        }
+        if (!sdc_verdict && std::isfinite(global[0])) {
+          // x_full just passed a true-residual audit — refresh the rollback
+          // point before the next iteration can inject or accumulate error.
+          ckpt_x = x_full;
+        }
+      }
       return global[0];
     };
     double rho2 = 0.0;
     if (!opts_.batched_reductions) {
-      rho2 = control_active
-                 ? reduce_with_trip(rho2_local)
+      rho2 = (control_active || sdc_active)
+                 ? reduce_lanes(rho2_local, false, 0.0)
                  : comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
     }
 
@@ -194,8 +274,59 @@ class ConjugateGradient {
       }
     };
 
+    // Restore the last audited-clean iterate, rebuild demoted operator
+    // storage (a value flip may have hit it), recompute the recurrence
+    // residual from scratch, and restart the search direction. Every input
+    // to the decision that calls this is allreduce-derived, so all ranks
+    // roll back (or exhaust the budget) together. Returns false when the
+    // recovery budget is spent — the caller breaks with status Corrupted.
+    const auto rollback = [&]() -> bool {
+      ++result.recoveries;
+      if (result.recoveries > opts_.sdc.max_recoveries) {
+        result.status = SolveStatus::Corrupted;
+        return false;
+      }
+      x_full = ckpt_x;
+      a_->redemote();
+      if (mg_ != nullptr) {
+        mg_->redemote();
+      }
+      a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
+                   std::span<T>(r.data(), r.size()));
+      {
+        ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+        rho2_local = dot_span_blocked(std::span<const T>(r.data(), r.size()),
+                                      std::span<const T>(r.data(), r.size()));
+      }
+      if (monitor_ != nullptr) {
+        monitor_->clear();
+      }
+      sdc_verdict = false;
+      restart_direction = true;
+      if (!opts_.batched_reductions) {
+        rho2 = reduce_lanes(rho2_local, false, 0.0);
+      }
+      return true;
+    };
+
     double rz_old = 0.0;
     while (result.iterations < opts_.max_iters) {
+      if (injector_ != nullptr) {
+        // Deterministic fault sites, keyed by the iteration count: a bit
+        // flip in the owned iterate, or in the operator's stored values.
+        injector_->maybe_flip(
+            FaultTarget::Vec,
+            std::as_writable_bytes(
+                std::span<T>(x_full.data(), static_cast<std::size_t>(n))),
+            sizeof(T), result.iterations);
+        std::uint64_t value_draw = 0;
+        std::uint64_t bit_draw = 0;
+        if (injector_->maybe_draw(FaultTarget::Values, result.iterations,
+                                  &value_draw, &bit_draw)) {
+          a_->corrupt_value_bit(value_draw, bit_draw,
+                                injector_->config().bit);
+        }
+      }
       double rz = 0.0;
       if (opts_.batched_reductions) {
         // z = M r is hoisted above the convergence check so ⟨r,z⟩ can share
@@ -212,17 +343,58 @@ class ConjugateGradient {
               dot_local(std::span<const T>(r.data(), r.size()),
                         std::span<const T>(z.data(), z.size())));
         }
-        if (control_active) {
-          // Third packed lane: the trip vote rides the same message.
-          const std::array<double, 3> local{rho2_local, rz_local,
-                                            ctl.trip_lane(comm.size())};
-          std::array<double, 3> global{};
-          comm.allreduce(std::span<const double>(local.data(), local.size()),
-                         std::span<double>(global.data(), global.size()),
+        if (control_active || sdc_active) {
+          // Extra packed lanes on the same message: trip vote, SDC verdict,
+          // and — on audit iterations — the local true-residual partial.
+          const bool audit_now =
+              sdc_active && result.iterations > 0 &&
+              result.iterations % opts_.sdc.audit_interval == 0;
+          double audit_local = 0.0;
+          if (audit_now) {
+            a_->residual(comm, b,
+                         std::span<T>(x_full.data(), x_full.size()),
+                         std::span<T>(r_audit.data(), r_audit.size()));
+            ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+            audit_local = dot_span_blocked(
+                std::span<const T>(r_audit.data(), r_audit.size()),
+                std::span<const T>(r_audit.data(), r_audit.size()));
+          }
+          std::array<double, 5> local{};
+          std::size_t lanes = 0;
+          local[lanes++] = rho2_local;
+          local[lanes++] = rz_local;
+          if (control_active) {
+            local[lanes++] = ctl.trip_lane(comm.size());
+          }
+          if (sdc_active) {
+            local[lanes++] = monitor_ != nullptr ? monitor_->lane() : 0.0;
+          }
+          if (audit_now) {
+            local[lanes++] = audit_local;
+          }
+          std::array<double, 5> global{};
+          comm.allreduce(std::span<const double>(local.data(), lanes),
+                         std::span<double>(global.data(), lanes),
                          ReduceOp::Sum);
           rho2 = global[0];
           rz = global[1];
-          trip = SolveControl::decode_trip(global[2], comm.size());
+          std::size_t gi = 2;
+          if (control_active) {
+            trip = SolveControl::decode_trip(global[gi++], comm.size());
+          }
+          if (sdc_active) {
+            sdc_verdict = SdcMonitor::decode(global[gi++]);
+          }
+          if (audit_now) {
+            const double drift =
+                std::abs(std::sqrt(global[gi]) - std::sqrt(rho2));
+            if (!(drift <= drift_limit * rho0)) {
+              sdc_verdict = true;  // also catches NaN drift
+            }
+            if (!sdc_verdict && std::isfinite(rho2)) {
+              ckpt_x = x_full;  // audited clean — refresh the rollback point
+            }
+          }
         } else {
           const std::array<double, 2> local{rho2_local, rz_local};
           std::array<double, 2> global{};
@@ -238,6 +410,15 @@ class ConjugateGradient {
       if (opts_.track_history) {
         result.history.push_back(result.relative_residual);
       }
+      if (sdc_active && (sdc_verdict || !std::isfinite(rho))) {
+        // Corruption verdict (checksum lane, drift audit, or non-finite
+        // reduced norm — all rank-uniform): roll back and retry, checked
+        // before convergence so a flipped-to-tiny norm cannot fake success.
+        if (!rollback()) {
+          break;
+        }
+        continue;
+      }
       if (result.relative_residual < opts_.tol) {
         result.status = SolveStatus::Converged;
         break;
@@ -252,7 +433,8 @@ class ConjugateGradient {
         rz = dot<double>(comm, std::span<const T>(r.data(), r.size()),
                          std::span<const T>(z.data(), z.size()));
       }
-      if (result.iterations == 0) {
+      if (result.iterations == 0 || restart_direction) {
+        restart_direction = false;
         ScopedMotif sm(stats_, Motif::Vector, scal_flops(n));
         for (local_index_t i = 0; i < n; ++i) {
           p_full[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)];
@@ -276,6 +458,15 @@ class ConjugateGradient {
               : a_->spmv_then_dot(comm,
                                   std::span<T>(p_full.data(), p_full.size()),
                                   std::span<T>(ap.data(), ap.size()));
+      if (sdc_active && !(pap > 0)) {
+        // Corrupted curvature (NaN or nonpositive ⟨Ap, p⟩ after a value
+        // flip). pap is allreduce-derived, hence rank-uniform — recover
+        // instead of aborting the run.
+        if (!rollback()) {
+          break;
+        }
+        continue;
+      }
       HPGMX_CHECK_MSG(pap > 0, "CG: matrix is not positive definite");
       const double alpha = rz / pap;
       {
@@ -302,9 +493,27 @@ class ConjugateGradient {
         }
       }
       if (!opts_.batched_reductions) {
-        rho2 = control_active
-                   ? reduce_with_trip(rho2_local)
-                   : comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+        if (control_active || sdc_active) {
+          // The audit rides the bottom reduce here: x_full was just
+          // updated, so the true residual is compared against the fresh
+          // recurrence ‖r‖² carried in lane 0 of the same message.
+          const bool audit_now =
+              sdc_active &&
+              (result.iterations + 1) % opts_.sdc.audit_interval == 0;
+          double audit_local = 0.0;
+          if (audit_now) {
+            a_->residual(comm, b,
+                         std::span<T>(x_full.data(), x_full.size()),
+                         std::span<T>(r_audit.data(), r_audit.size()));
+            ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
+            audit_local = dot_span_blocked(
+                std::span<const T>(r_audit.data(), r_audit.size()),
+                std::span<const T>(r_audit.data(), r_audit.size()));
+          }
+          rho2 = reduce_lanes(rho2_local, audit_now, audit_local);
+        } else {
+          rho2 = comm.allreduce_scalar(rho2_local, ReduceOp::Sum);
+        }
       }
       ++result.iterations;
     }
@@ -334,6 +543,8 @@ class ConjugateGradient {
   SymmetricMultigrid<T>* mg_;
   SolverOptions opts_;
   MotifStats* stats_ = nullptr;
+  SdcMonitor* monitor_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hpgmx

@@ -97,6 +97,48 @@ class DistOperator {
   void set_stats(MotifStats* stats) { stats_ = stats; }
   void set_event_sink(EventSink* sink) { sink_ = sink; }
 
+  /// Attach (non-null) or detach (null) the SDC monitor: this level's halo
+  /// messages carry verified additive checksums while attached (see
+  /// HaloExchange::set_sdc_monitor for the cost and bit-identity contract).
+  void set_sdc_monitor(SdcMonitor* monitor) {
+    halo_exchange_.set_sdc_monitor(monitor);
+  }
+
+  /// Re-demote the stored matrix from its pristine double source at the
+  /// current value_scale(), unconditionally. set_value_scale() no-ops when
+  /// the scale is unchanged, so SDC rollback calls this to repair possibly
+  /// corrupted low-precision values even when the checkpointed ScaleGuard
+  /// scale equals the live one.
+  void redemote() {
+    csr_ = source_->convert<T>(value_scale_);
+    ell_ = ell_from_csr(csr_, idx_);
+  }
+
+  /// Flip one bit of one stored nonzero on the *active* kernel path (ELL
+  /// values when optimized, CSR values when reference) — the target:values
+  /// fault site. `value_draw`/`bit_draw` are the injector's raw draws,
+  /// reduced here against the live slab's geometry; `pinned_bit` >= 0 pins
+  /// the in-element bit index. The double source is untouched, so
+  /// redemote() repairs the damage.
+  void corrupt_value_bit(std::uint64_t value_draw, std::uint64_t bit_draw,
+                         int pinned_bit) {
+    std::span<T> values = opt_ == OptLevel::Reference
+                              ? std::span<T>(csr_.values)
+                              : std::span<T>(ell_.values);
+    if (values.empty()) {
+      return;
+    }
+    constexpr std::size_t bits = sizeof(T) * 8;
+    const std::size_t elem =
+        static_cast<std::size_t>(value_draw % values.size());
+    const std::size_t bit =
+        pinned_bit >= 0 ? static_cast<std::size_t>(pinned_bit) % bits
+                        : static_cast<std::size_t>(bit_draw % bits);
+    auto* bytes = reinterpret_cast<unsigned char*>(values.data());
+    bytes[elem * sizeof(T) + bit / 8] ^=
+        static_cast<unsigned char>(1u << (bit % 8));
+  }
+
   /// Enable/disable compute–communication overlap on the optimized path
   /// (HPGMX_OVERLAP). Off substitutes a blocking exchange for begin/finish
   /// and then runs the identical interior and boundary kernels in the

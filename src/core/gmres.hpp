@@ -4,12 +4,16 @@
 // solver; the float instantiation is exercised by tests.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "base/aligned_vector.hpp"
 #include "base/cancel.hpp"
+#include "base/fault.hpp"
 #include "base/solve_status.hpp"
 #include "blas/multivector.hpp"
 #include "blas/vector_ops.hpp"
@@ -49,6 +53,13 @@ struct SolverOptions {
   /// ranks exit the same iteration; with the default (inactive) control the
   /// solvers keep their exact control-free message schedule and bits.
   SolveControl control;
+  /// SDC detection + recovery policy (base/fault.hpp). With detect on, the
+  /// corruption verdict rides the same packed reductions as the trip lane
+  /// (zero new collectives) and the outer iterate is checkpointed every
+  /// checkpoint_interval cycles for rollback; with the default (off) policy
+  /// the solvers keep their exact detection-free schedule and bits, and a
+  /// detection-on fault-free run is bit-identical to detection-off.
+  SdcPolicy sdc;
 };
 
 struct SolveResult {
@@ -66,6 +77,9 @@ struct SolveResult {
   /// at a promoted precision (GmresIr::set_cycle_observer); x holds the
   /// warm iterate. Always false for Gmres/CG and observer-less GMRES-IR.
   bool switch_requested = false;
+  /// Checkpoint rollbacks performed after an SDC verdict (rank-uniform:
+  /// every rollback is decided from reduced lanes). 0 unless opts.sdc is on.
+  int recoveries = 0;
 
   [[nodiscard]] bool converged() const {
     return status == SolveStatus::Converged;
@@ -88,6 +102,23 @@ class Gmres {
     }
   }
 
+  /// Attach the per-rank SDC monitor: halo messages of the operator and the
+  /// preconditioner levels carry verified checksums, and the monitor's
+  /// verdict lane rides this solver's cycle-top reduction when opts.sdc is
+  /// on. Null detaches.
+  void set_sdc(SdcMonitor* monitor) {
+    monitor_ = monitor;
+    a_->set_sdc_monitor(monitor);
+    if (mg_ != nullptr) {
+      mg_->set_sdc_monitor(monitor);
+    }
+  }
+
+  /// Attach the per-rank fault injector (target:vec flips the iterate at
+  /// cycle boundaries, target:values corrupts the operator's stored
+  /// nonzeros; target:halo is ChaosComm's job). Null detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Solve A x = b from the given initial guess (owned-length spans).
   SolveResult solve(Comm& comm, std::span<const T> b, std::span<T> x) {
     const local_index_t n = a_->num_owned();
@@ -109,6 +140,12 @@ class Gmres {
     const SolveControl& ctl = opts_.control;
     const bool control_active = ctl.active();
     TripCause trip = TripCause::None;
+    const bool sdc_active = opts_.sdc.detect;
+    const double growth_limit = sdc_growth_threshold(opts_.sdc, sizeof(T));
+    bool sdc_flagged = false;
+    double best_rel = std::numeric_limits<double>::infinity();
+    AlignedVector<T> ckpt_x;
+    std::int64_t outer_cycle = 0;
     double rho0;
     {
       ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
@@ -122,30 +159,64 @@ class Gmres {
     for (local_index_t i = 0; i < n; ++i) {
       x_full[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
     }
+    if (sdc_active) {
+      ckpt_x = x_full;  // rollback target before the first checkpoint lands
+    }
 
     while (result.iterations < opts_.max_iters) {
+      const std::int64_t cycle = outer_cycle++;
+      // Scripted value faults enter here, before the cycle-top residual, so
+      // a flip at site `cycle` is visible to this cycle's audit.
+      if (injector_ != nullptr) {
+        injector_->maybe_flip(
+            FaultTarget::Vec,
+            std::as_writable_bytes(
+                std::span<T>(x_full.data(), static_cast<std::size_t>(n))),
+            sizeof(T), cycle);
+        std::uint64_t value_draw = 0;
+        std::uint64_t bit_draw = 0;
+        if (injector_->maybe_draw(FaultTarget::Values, cycle, &value_draw,
+                                  &bit_draw)) {
+          a_->corrupt_value_bit(value_draw, bit_draw,
+                                injector_->config().bit);
+        }
+      }
       // True residual at the top of each cycle (alg. 2/3 line 7).
       a_->residual(comm, b, std::span<T>(x_full.data(), x_full.size()),
                    std::span<T>(r.data(), r.size()));
       double rho;
       {
         ScopedMotif sm(stats_, Motif::Ortho, dot_flops(n));
-        if (control_active) {
+        if (control_active || sdc_active) {
           // Same local partial and Sum-reduction as nrm2<T>, widened by the
-          // trip lane: entry 0 is bit-identical to the stand-alone norm
-          // (elementwise rank-ordered combine), entry 1 carries the
-          // deadline/cancel vote at zero extra collectives.
+          // trip and/or SDC verdict lanes: entry 0 is bit-identical to the
+          // stand-alone norm (elementwise rank-ordered combine), the extra
+          // entries carry the deadline/cancel vote and the checksum verdict
+          // at zero extra collectives.
           const T rho2_local = static_cast<T>(
               dot_local(std::span<const T>(r.data(), r.size()),
                         std::span<const T>(r.data(), r.size())));
-          const std::array<T, 2> local{
-              rho2_local, static_cast<T>(ctl.trip_lane(comm.size()))};
-          std::array<T, 2> global{};
-          comm.allreduce(std::span<const T>(local.data(), local.size()),
-                         std::span<T>(global.data(), global.size()),
-                         ReduceOp::Sum);
-          trip = SolveControl::decode_trip(static_cast<double>(global[1]),
-                                           comm.size());
+          std::array<T, 3> local{};
+          std::size_t lanes = 0;
+          local[lanes++] = rho2_local;
+          if (control_active) {
+            local[lanes++] = static_cast<T>(ctl.trip_lane(comm.size()));
+          }
+          if (sdc_active) {
+            local[lanes++] =
+                static_cast<T>(monitor_ != nullptr ? monitor_->lane() : 0.0);
+          }
+          std::array<T, 3> global{};
+          comm.allreduce(std::span<const T>(local.data(), lanes),
+                         std::span<T>(global.data(), lanes), ReduceOp::Sum);
+          std::size_t gi = 1;
+          if (control_active) {
+            trip = SolveControl::decode_trip(
+                static_cast<double>(global[gi++]), comm.size());
+          }
+          if (sdc_active) {
+            sdc_flagged = SdcMonitor::decode(static_cast<double>(global[gi]));
+          }
           rho = static_cast<double>(static_cast<T>(
               std::sqrt(static_cast<double>(global[0]))));
         } else {
@@ -157,6 +228,34 @@ class Gmres {
       if (opts_.track_history) {
         result.history.push_back(result.relative_residual);
       }
+      if (sdc_active) {
+        // Verdict first: a checksum flag during the residual exchange, a
+        // non-finite norm, or growth past the format-aware audit threshold
+        // makes this cycle's measurement untrustworthy — including an
+        // apparent convergence. All three inputs are allreduce-derived, so
+        // every rank rolls back (or gives up) at the same cycle.
+        const bool verdict =
+            sdc_flagged || !std::isfinite(rho) ||
+            (std::isfinite(best_rel) &&
+             result.relative_residual > growth_limit * best_rel);
+        if (verdict) {
+          ++result.recoveries;
+          if (result.recoveries > opts_.sdc.max_recoveries) {
+            result.status = SolveStatus::Corrupted;
+            break;
+          }
+          x_full = ckpt_x;
+          if (monitor_ != nullptr) {
+            monitor_->clear();
+          }
+          sdc_flagged = false;
+          // The rolled-back residual legitimately jumps back up; the growth
+          // baseline must be re-earned, not inherited.
+          best_rel = std::numeric_limits<double>::infinity();
+          continue;
+        }
+        best_rel = std::min(best_rel, result.relative_residual);
+      }
       if (result.relative_residual < opts_.tol) {
         result.status = SolveStatus::Converged;
         break;
@@ -164,6 +263,9 @@ class Gmres {
       if (trip != TripCause::None) {
         result.status = trip_status(trip);  // rank-uniform: decoded from the
         break;                              // reduced lane, never local state
+      }
+      if (sdc_active && cycle % opts_.sdc.checkpoint_interval == 0) {
+        ckpt_x = x_full;  // audited clean just above — safe to keep
       }
       // q1 = r / rho; the reduced RHS is e1 (scale folded into the final
       // update to keep T-precision magnitudes O(1)).
@@ -279,7 +381,8 @@ class Gmres {
       (void)cycle_converged;  // verified against the true residual next cycle
     }
 
-    if (!result.converged() && trip == TripCause::None) {
+    if (!result.converged() && trip == TripCause::None &&
+        result.status != SolveStatus::Corrupted) {
       // Loop left on the iteration cap: report the final true residual.
       // (A tripped exit keeps the last cycle-top residual instead: the
       // caller asked us to stop spending collectives, not start new ones.)
@@ -319,6 +422,8 @@ class Gmres {
   Multigrid<T>* mg_;
   SolverOptions opts_;
   MotifStats* stats_ = nullptr;
+  SdcMonitor* monitor_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hpgmx

@@ -21,6 +21,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "base/aligned_vector.hpp"
@@ -75,6 +77,22 @@ class GmresIr {
     observer_ = observer;
   }
 
+  /// Attach the per-rank SDC monitor: every halo exchange (outer double
+  /// residual, inner TLow SpMV/smoothing on all levels) carries verified
+  /// checksums, and the monitor's verdict lane rides the solver's existing
+  /// packed reductions when opts.sdc is on. Null detaches.
+  void set_sdc(SdcMonitor* monitor) {
+    monitor_ = monitor;
+    a_high_->set_sdc_monitor(monitor);
+    a_low_->set_sdc_monitor(monitor);
+    mg_low_->set_sdc_monitor(monitor);
+  }
+
+  /// Attach the per-rank fault injector (target:vec flips the double outer
+  /// iterate at cycle boundaries, target:values corrupts the low-precision
+  /// operator's stored nonzeros; target:halo is ChaosComm's). Null detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   SolveResult solve(Comm& comm, std::span<const double> b,
                     std::span<double> x) {
     const local_index_t n = a_high_->num_owned();
@@ -112,6 +130,21 @@ class GmresIr {
       x_full[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
     }
 
+    // SDC detection state. The checkpoint is the outer state a rollback
+    // must restore exactly: the double iterate and the ScaleGuard scale
+    // (the adaptive rung is per-segment — AdaptiveGmresIr re-enters this
+    // solver per rung, so a rollback never crosses a rung boundary).
+    const bool sdc_active = opts_.sdc.detect;
+    const double growth_limit = sdc_growth_threshold(opts_.sdc, sizeof(TLow));
+    bool sdc_flagged = false;
+    double best_rel = std::numeric_limits<double>::infinity();
+    AlignedVector<double> ckpt_x;
+    double ckpt_scale = guard_ != nullptr ? guard_->scale() : 1.0;
+    std::int64_t outer_cycle = 0;
+    if (sdc_active) {
+      ckpt_x = x_full;  // rollback target before the first checkpoint lands
+    }
+
     bool aborted = false;
     // Batched-reduction state: an accepted candidate update below already
     // carries the next cycle's globally reduced ‖r‖² (and its residual, in
@@ -124,16 +157,35 @@ class GmresIr {
     double rho2 = 0.0;
     bool have_rho2 = false;
     while (result.iterations < opts_.max_iters) {
+      const std::int64_t cycle = outer_cycle++;
+      // Scripted value faults enter here, before the outer residual, so a
+      // flip at site `cycle` reaches this cycle's (unbatched) or the next
+      // cycle's (batched, carried ‖r‖²) audit deterministically.
+      if (injector_ != nullptr) {
+        injector_->maybe_flip(
+            FaultTarget::Vec,
+            std::as_writable_bytes(
+                std::span<double>(x_full.data(), static_cast<std::size_t>(n))),
+            sizeof(double), cycle);
+        std::uint64_t value_draw = 0;
+        std::uint64_t bit_draw = 0;
+        if (injector_->maybe_draw(FaultTarget::Values, cycle, &value_draw,
+                                  &bit_draw)) {
+          a_low_->corrupt_value_bit(value_draw, bit_draw,
+                                    injector_->config().bit);
+        }
+      }
       // -- outer refinement step, REQUIRED double (alg. 3 line 7), with
       //    ‖r‖² folded into the residual sweep (fused) or recomputed in a
       //    second bit-identical pass (unfused) --------------------------
       if (!have_rho2) {
-        if (control_active) {
+        if (control_active || sdc_active) {
           // Same local leg as residual_norm2 / residual_then_norm2, widened
-          // by the trip lane: entry 0 of the packed Sum is bit-identical to
-          // the internal scalar allreduce those entry points run, entry 1
-          // carries the deadline/cancel vote (base/cancel.hpp) — the trip
-          // decision costs zero additional collectives.
+          // by the trip and/or SDC verdict lanes: entry 0 of the packed Sum
+          // is bit-identical to the internal scalar allreduce those entry
+          // points run, the extra entries carry the deadline/cancel vote
+          // (base/cancel.hpp) and the checksum verdict (base/fault.hpp) —
+          // both decisions cost zero additional collectives.
           const double rho2_local =
               opts_.fused_passes
                   ? a_high_->residual_norm2_local(
@@ -144,14 +196,27 @@ class GmresIr {
                         comm, b,
                         std::span<double>(x_full.data(), x_full.size()),
                         std::span<double>(r.data(), r.size()));
-          const std::array<double, 2> local{rho2_local,
-                                            ctl.trip_lane(comm.size())};
-          std::array<double, 2> global{};
-          comm.allreduce(std::span<const double>(local.data(), local.size()),
-                         std::span<double>(global.data(), global.size()),
+          std::array<double, 3> local{};
+          std::size_t lanes = 0;
+          local[lanes++] = rho2_local;
+          if (control_active) {
+            local[lanes++] = ctl.trip_lane(comm.size());
+          }
+          if (sdc_active) {
+            local[lanes++] = monitor_ != nullptr ? monitor_->lane() : 0.0;
+          }
+          std::array<double, 3> global{};
+          comm.allreduce(std::span<const double>(local.data(), lanes),
+                         std::span<double>(global.data(), lanes),
                          ReduceOp::Sum);
           rho2 = global[0];
-          trip = SolveControl::decode_trip(global[1], comm.size());
+          std::size_t gi = 1;
+          if (control_active) {
+            trip = SolveControl::decode_trip(global[gi++], comm.size());
+          }
+          if (sdc_active) {
+            sdc_flagged = SdcMonitor::decode(global[gi]);
+          }
         } else {
           rho2 = opts_.fused_passes
                      ? a_high_->residual_norm2(
@@ -170,6 +235,43 @@ class GmresIr {
       if (opts_.track_history) {
         result.history.push_back(result.relative_residual);
       }
+      if (sdc_active) {
+        // Verdict before the convergence check: a checksum flag, a
+        // non-finite outer norm, or residual growth past the format-aware
+        // audit threshold makes this cycle's measurement untrustworthy,
+        // including an apparent convergence. Every input is
+        // allreduce-derived, so all ranks roll back (or give up) together.
+        const bool verdict =
+            sdc_flagged || !std::isfinite(rho) ||
+            (std::isfinite(best_rel) &&
+             result.relative_residual > growth_limit * best_rel);
+        if (verdict) {
+          ++result.recoveries;
+          if (result.recoveries > opts_.sdc.max_recoveries) {
+            result.status = SolveStatus::Corrupted;
+            break;
+          }
+          x_full = ckpt_x;
+          if (guard_ != nullptr) {
+            guard_->restore(ckpt_scale);
+            sync_operator_scale();
+          }
+          // Unconditional re-demotion repairs target:values corruption even
+          // when the checkpointed scale equals the live one (where
+          // set_value_scale would no-op).
+          a_low_->redemote();
+          mg_low_->redemote();
+          if (monitor_ != nullptr) {
+            monitor_->clear();
+          }
+          sdc_flagged = false;
+          // The rolled-back residual legitimately jumps back up; the
+          // growth baseline must be re-earned, not inherited.
+          best_rel = std::numeric_limits<double>::infinity();
+          continue;  // loop top recomputes ‖r‖² from the restored iterate
+        }
+        best_rel = std::min(best_rel, result.relative_residual);
+      }
       if (result.relative_residual < opts_.tol) {
         result.status = SolveStatus::Converged;
         break;
@@ -181,6 +283,11 @@ class GmresIr {
         // observer promotion — the caller asked us to stop, not widen.
         result.status = trip_status(trip);
         break;
+      }
+      if (sdc_active && cycle % opts_.sdc.checkpoint_interval == 0) {
+        // Audited clean just above — safe to keep as the rollback target.
+        ckpt_x = x_full;
+        ckpt_scale = guard_ != nullptr ? guard_->scale() : 1.0;
       }
       // relative_residual is allreduce-derived, so the observer's decision
       // is rank-consistent without another collective.
@@ -386,26 +493,33 @@ class GmresIr {
                       comm, b, std::span<double>(x_next.data(), x_next.size()),
                       std::span<double>(r.data(), r.size()));
         double finite_sum;
-        if (control_active) {
-          // Third packed lane: the deadline/cancel trip vote rides the same
-          // coalesced message; the loop top acts on it next cycle.
-          const std::array<double, 3> local{rho2_cand_local, finite_local,
-                                            ctl.trip_lane(comm.size())};
-          std::array<double, 3> global3{};
-          comm.allreduce(std::span<const double>(local.data(), local.size()),
-                         std::span<double>(global3.data(), global3.size()),
-                         ReduceOp::Sum);
-          rho2 = global3[0];
-          finite_sum = global3[1];
-          trip = SolveControl::decode_trip(global3[2], comm.size());
-        } else {
-          const std::array<double, 2> local{rho2_cand_local, finite_local};
-          std::array<double, 2> global{};
-          comm.allreduce(std::span<const double>(local.data(), local.size()),
-                         std::span<double>(global.data(), global.size()),
+        {
+          // Extra packed lanes: the deadline/cancel trip vote and the SDC
+          // verdict ride the same coalesced message; the loop top acts on
+          // them next cycle.
+          std::array<double, 4> local{};
+          std::size_t lanes = 0;
+          local[lanes++] = rho2_cand_local;
+          local[lanes++] = finite_local;
+          if (control_active) {
+            local[lanes++] = ctl.trip_lane(comm.size());
+          }
+          if (sdc_active) {
+            local[lanes++] = monitor_ != nullptr ? monitor_->lane() : 0.0;
+          }
+          std::array<double, 4> global{};
+          comm.allreduce(std::span<const double>(local.data(), lanes),
+                         std::span<double>(global.data(), lanes),
                          ReduceOp::Sum);
           rho2 = global[0];
           finite_sum = global[1];
+          std::size_t gi = 2;
+          if (control_active) {
+            trip = SolveControl::decode_trip(global[gi++], comm.size());
+          }
+          if (sdc_active) {
+            sdc_flagged = SdcMonitor::decode(global[gi]);
+          }
         }
         if (finite_sum != static_cast<double>(comm.size())) {
           // Same recovery as the unbatched vote. x is untouched; r holds
@@ -438,7 +552,8 @@ class GmresIr {
       // further progress is possible at this format. The caller (service
       // RetryPolicy) can re-run at a promoted precision.
       result.status = SolveStatus::NonFinite;
-    } else if (!result.converged() && trip == TripCause::None) {
+    } else if (!result.converged() && trip == TripCause::None &&
+               result.status != SolveStatus::Corrupted) {
       const double rho2 =
           opts_.fused_passes
               ? a_high_->residual_norm2(
@@ -493,6 +608,8 @@ class GmresIr {
   MotifStats* stats_ = nullptr;
   ScaleGuard* guard_ = nullptr;
   InnerCycleObserver* observer_ = nullptr;
+  SdcMonitor* monitor_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hpgmx

@@ -262,6 +262,21 @@ class Multigrid {
     }
   }
 
+  /// Attach/detach the SDC monitor on every level's halo exchange.
+  void set_sdc_monitor(SdcMonitor* monitor) {
+    for (auto& level : levels_) {
+      std::visit([&](auto& lvl) { lvl.op.set_sdc_monitor(monitor); }, level);
+    }
+  }
+
+  /// Re-demote every level from its pristine double source at its current
+  /// scale — the SDC-rollback repair for possibly corrupted values.
+  void redemote() {
+    for (auto& level : levels_) {
+      std::visit([&](auto& lvl) { lvl.op.redemote(); }, level);
+    }
+  }
+
   /// Re-demote every level at the absolute scale (ScaleGuard backoff/regrow).
   /// Scheduled levels compose the guard's global scale with their fixed
   /// per-level equilibration.

@@ -102,6 +102,16 @@ class ScaleGuard {
     return cfg_.backoff;
   }
 
+  /// Restore the scale recorded in an SDC checkpoint during rollback. The
+  /// clean-cycle counter resets (the rolled-back state must re-earn its
+  /// regrowth) but the backoff count survives — overflow history is real
+  /// even when the iterate is rewound. The caller re-demotes its operators
+  /// to the restored scale (DistOperator::redemote).
+  void restore(double checkpoint_scale) {
+    scale_ = checkpoint_scale;
+    good_cycles_ = 0;
+  }
+
   /// Record a clean outer cycle. The scale regrows by cfg_.growth after
   /// growth_interval clean cycles, never past the initial scale; callers
   /// re-sync operators to scale(). Returns the applied factor.

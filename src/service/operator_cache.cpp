@@ -23,9 +23,24 @@ std::size_t hierarchy_bytes_estimate(const ProblemHierarchy& h) {
   return bytes;
 }
 
+namespace {
+
+/// Local (single-thread) read of the control block: the build runs on one
+/// service worker, so no rank-uniformity machinery is needed here.
+bool control_tripped(const SolveControl* control) {
+  return control != nullptr &&
+         ((control->cancel != nullptr && control->cancel->cancelled()) ||
+          control->deadline.expired());
+}
+
+}  // namespace
+
 std::shared_ptr<const OperatorCache::Entry> OperatorCache::build_entry(
-    const ProblemDescriptor& desc) {
+    const ProblemDescriptor& desc, const SolveControl* control) {
   HPGMX_CHECK_MSG(desc.ranks >= 1, "descriptor needs at least one rank");
+  if (control_tripped(control)) {
+    return nullptr;
+  }
   WallTimer timer;
   auto entry = std::make_shared<Entry>();
   entry->desc = desc;
@@ -38,6 +53,9 @@ std::shared_ptr<const OperatorCache::Entry> OperatorCache::build_entry(
   pp.scenario = desc.scenario;
   entry->hierarchy.reserve(static_cast<std::size_t>(desc.ranks));
   for (int r = 0; r < desc.ranks; ++r) {
+    if (control_tripped(control)) {
+      return nullptr;  // abandon the half-built entry mid-request
+    }
     entry->hierarchy.push_back(build_hierarchy(generate_problem(pgrid, r, pp),
                                                desc.mg_levels,
                                                desc.coloring_seed));
@@ -60,7 +78,8 @@ std::shared_ptr<const OperatorCache::Entry> OperatorCache::build_entry(
 }
 
 std::shared_ptr<const OperatorCache::Entry> OperatorCache::get_or_build(
-    const ProblemDescriptor& desc, bool* cache_hit) {
+    const ProblemDescriptor& desc, bool* cache_hit,
+    const SolveControl* control) {
   std::string key = desc.canonical();
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
@@ -69,13 +88,43 @@ std::shared_ptr<const OperatorCache::Entry> OperatorCache::get_or_build(
     if (cache_hit != nullptr) {
       *cache_hit = true;
     }
-    return it->second.entry;
+    return it->second.entry;  // hits are free: served even when tripped
   }
   ++stats_.misses;
   if (cache_hit != nullptr) {
     *cache_hit = false;
   }
-  std::shared_ptr<const Entry> entry = build_entry(desc);
+  std::shared_ptr<const Entry> entry = build_entry(desc, control);
+  if (entry == nullptr) {
+    ++stats_.cancelled_builds;
+    return nullptr;  // deadline/cancel tripped before or during the build
+  }
+  // Build-cost-aware admission: with the cache full, scan from the LRU end
+  // for a victim whose own build was at most admit_multiple_ × as expensive
+  // as the candidate's. No such victim → serve the entry uncached; the
+  // resident set is worth more than this entry.
+  if (admit_multiple_ > 0.0 && map_.size() >= max_entries_ &&
+      !map_.empty()) {
+    auto victim_pos = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const Slot& slot = map_.find(*it)->second;
+      if (slot.entry->build_seconds <=
+          admit_multiple_ * entry->build_seconds) {
+        victim_pos = std::prev(it.base());
+        break;
+      }
+      ++stats_.eviction_skips;
+    }
+    if (victim_pos == lru_.end()) {
+      ++stats_.admission_rejects;
+      return entry;
+    }
+    const auto vit = map_.find(*victim_pos);
+    stats_.bytes -= vit->second.entry->bytes;
+    map_.erase(vit);
+    lru_.erase(victim_pos);
+    ++stats_.evictions;
+  }
   lru_.push_front(key);
   map_.emplace(std::move(key), Slot{entry, lru_.begin()});
   stats_.bytes += entry->bytes;

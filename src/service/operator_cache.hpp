@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "core/multigrid.hpp"
 #include "service/descriptor.hpp"
 
@@ -31,6 +32,15 @@ struct OperatorCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Builds served uncached because no resident entry was cheap enough to
+  /// displace under the build-cost-aware admission policy.
+  std::uint64_t admission_rejects = 0;
+  /// LRU candidates passed over (too expensive to rebuild) while looking
+  /// for an admission victim.
+  std::uint64_t eviction_skips = 0;
+  /// Builds skipped because the request's deadline had already expired or
+  /// its cancel token had tripped before setup started.
+  std::uint64_t cancelled_builds = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;  ///< estimated resident bytes of cached hierarchies
 };
@@ -52,17 +62,29 @@ class OperatorCache {
     double build_seconds = 0.0;
   };
 
-  explicit OperatorCache(std::size_t max_entries = 8)
-      : max_entries_(max_entries) {}
+  /// `admit_multiple` enables build-cost-aware admission (HPGMX_CACHE_ADMIT):
+  /// with the cache full, a newly built entry is only admitted if some
+  /// resident entry cost at most admit_multiple × the new entry's build time
+  /// to construct — a burst of cheap one-off descriptors then cannot flush
+  /// an expensive resident hierarchy. 0 (the default) is pure LRU.
+  explicit OperatorCache(std::size_t max_entries = 8,
+                         double admit_multiple = 0.0)
+      : max_entries_(max_entries), admit_multiple_(admit_multiple) {}
 
   /// Return the cached entry for `desc`, building (and caching) it on a
   /// miss. `cache_hit`, when non-null, reports which path was taken.
+  /// `control`, when non-null, is consulted before the expensive build: a
+  /// pre-expired deadline or tripped cancel token skips it and returns
+  /// nullptr (a cache hit is still served — it costs nothing).
   [[nodiscard]] std::shared_ptr<const Entry> get_or_build(
-      const ProblemDescriptor& desc, bool* cache_hit = nullptr);
+      const ProblemDescriptor& desc, bool* cache_hit = nullptr,
+      const SolveControl* control = nullptr);
 
   /// Build an entry without touching the cache (the cold-path reference).
+  /// With `control` attached, checks it between per-rank hierarchy builds
+  /// and returns nullptr once tripped.
   [[nodiscard]] static std::shared_ptr<const Entry> build_entry(
-      const ProblemDescriptor& desc);
+      const ProblemDescriptor& desc, const SolveControl* control = nullptr);
 
   [[nodiscard]] OperatorCacheStats stats() const;
   [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
@@ -71,6 +93,7 @@ class OperatorCache {
  private:
   mutable std::mutex mu_;
   std::size_t max_entries_;
+  double admit_multiple_ = 0.0;
   /// Most-recently-used at the front; keys are canonical strings.
   std::list<std::string> lru_;
   struct Slot {

@@ -42,14 +42,16 @@ int status_severity(SolveStatus s) {
       return 1;
     case SolveStatus::NonFinite:
       return 2;
-    case SolveStatus::DeadlineExceeded:
+    case SolveStatus::Corrupted:
       return 3;
-    case SolveStatus::Cancelled:
+    case SolveStatus::DeadlineExceeded:
       return 4;
-    case SolveStatus::Rejected:
+    case SolveStatus::Cancelled:
       return 5;
+    case SolveStatus::Rejected:
+      return 6;
   }
-  return 5;
+  return 6;
 }
 
 }  // namespace
@@ -87,13 +89,17 @@ ServiceConfig ServiceConfig::from_env() {
   cfg.cache_entries = static_cast<std::size_t>(env_int_or(
       "HPGMX_SERVICE_CACHE", static_cast<std::int64_t>(cfg.cache_entries)));
   HPGMX_CHECK_MSG(cfg.cache_entries >= 1, "HPGMX_SERVICE_CACHE must be >= 1");
+  cfg.cache_admit = env_double_or("HPGMX_CACHE_ADMIT", cfg.cache_admit);
+  HPGMX_CHECK_MSG(cfg.cache_admit >= 0.0, "HPGMX_CACHE_ADMIT must be >= 0");
   cfg.retry = RetryPolicy::from_env();
   cfg.chaos = ChaosConfig::from_env();
+  cfg.fault = FaultConfig::from_env();
+  cfg.sdc = SdcPolicy::from_env();
   return cfg;
 }
 
 SolverService::SolverService(ServiceConfig cfg)
-    : cfg_(cfg), cache_(cfg.cache_entries) {
+    : cfg_(cfg), cache_(cfg.cache_entries, cfg.cache_admit) {
   HPGMX_CHECK(cfg_.workers >= 1 && cfg_.queue_capacity >= 1);
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int w = 0; w < cfg_.workers; ++w) {
@@ -225,6 +231,7 @@ void SolverService::run_attempt(
   opts.fused_passes = d.fused;
   opts.batched_reductions = d.batched_reduce;
   opts.control = control;
+  opts.sdc = cfg_.sdc;
 
   // Each request gets its own SPMD world: Self for one rank, in-process
   // threads otherwise — concurrent workers' worlds are fully independent.
@@ -236,13 +243,25 @@ void SolverService::run_attempt(
       static_cast<std::size_t>(world->local_count()));
   WallTimer solve_timer;
   world->execute([&](Comm& world_comm) {
-    // Per-rank chaos wrapper: deterministic fault injection (timing and
-    // ordering only — results are bit-identical with chaos on or off).
+    // Per-rank SDC harness: a deterministic value-fault injector (when
+    // HPGMX_FAULT is armed) and a checksum/audit monitor (when HPGMX_AUDIT
+    // is on). Halo faults are delivered through the chaos layer — it owns
+    // the point-to-point receive path — so an armed halo target forces the
+    // wrapper even with chaos itself off.
+    std::unique_ptr<FaultInjector> injector;
+    if (cfg_.fault.enabled()) {
+      injector = std::make_unique<FaultInjector>(cfg_.fault,
+                                                 world_comm.rank());
+    }
     std::unique_ptr<ChaosComm> chaotic;
-    if (cfg_.chaos.enabled()) {
-      chaotic = std::make_unique<ChaosComm>(world_comm, cfg_.chaos);
+    if (cfg_.chaos.enabled() ||
+        (injector != nullptr && injector->armed(FaultTarget::Halo))) {
+      chaotic =
+          std::make_unique<ChaosComm>(world_comm, cfg_.chaos, injector.get());
     }
     Comm& comm = chaotic != nullptr ? *chaotic : world_comm;
+    SdcMonitor sdc_monitor;
+    SdcMonitor* monitor = opts.sdc.detect ? &sdc_monitor : nullptr;
     const auto slot = static_cast<std::size_t>(world->slot_of(comm.rank()));
     const ProblemHierarchy& h =
         entry->hierarchy[static_cast<std::size_t>(comm.rank())];
@@ -260,6 +279,10 @@ void SolverService::run_attempt(
       case SolverKind::Gmres: {
         Multigrid<double> mg(h, params);
         Gmres<double> solver(&mg.level_op(0), &mg, opts);
+        if (monitor != nullptr) {
+          solver.set_sdc(monitor);
+        }
+        solver.set_fault_injector(injector.get());
         res = solver.solve_many(comm, rhs, x);
         break;
       }
@@ -268,6 +291,10 @@ void SolverService::run_attempt(
                         "cg requires the symmetric (gamma=0) operator");
         SymmetricMultigrid<double> mg(h, params);
         ConjugateGradient<double> solver(&mg.level_op(0), &mg, opts);
+        if (monitor != nullptr) {
+          solver.set_sdc(monitor);
+        }
+        solver.set_fault_injector(injector.get());
         res = solver.solve_many(comm, rhs, x);
         break;
       }
@@ -279,6 +306,8 @@ void SolverService::run_attempt(
         // reduced: no allreduce, and every rank's controller observes the
         // same rank-consistent sequence.
         AdaptiveGmresIr solver(h, params, opts, level_max);
+        solver.set_sdc(monitor);
+        solver.set_fault_injector(injector.get());
         res = solver.solve_many(comm, rhs, x);
         slot_realized[slot] = solver.controller().realized();
         break;
@@ -297,9 +326,11 @@ void SolverService::run_attempt(
   rec.status = out.status;
   for (const SolveResult& r : out.rhs) {
     rec.iterations += r.iterations;
+    rec.recoveries += r.recoveries;
     rec.relative_residual =
         std::max(rec.relative_residual, r.relative_residual);
   }
+  out.recoveries = rec.recoveries;  // of the served (last) attempt
   out.attempts.push_back(rec);
 }
 
@@ -311,16 +342,33 @@ ServiceResult SolverService::execute(const SolveRequest& req) {
     return out;
   }
 
-  WallTimer setup_timer;
-  bool hit = false;
-  const std::shared_ptr<const OperatorCache::Entry> entry =
-      cache_.get_or_build(req.desc, &hit);
-  out.cache_hit = hit;
-  out.setup_seconds = setup_timer.seconds();
-
   SolveControl control;
   control.cancel = req.cancel.get();
   control.deadline = req.deadline;
+
+  WallTimer setup_timer;
+  bool hit = false;
+  const std::shared_ptr<const OperatorCache::Entry> entry =
+      cache_.get_or_build(req.desc, &hit, &control);
+  out.cache_hit = hit;
+  out.setup_seconds = setup_timer.seconds();
+  if (entry == nullptr) {
+    // The deadline pre-expired or the token tripped before (or during) the
+    // hierarchy build: skip the solve entirely, classified like a trip that
+    // fired on the first reduction (cancellation outranks the deadline).
+    // The attempt ledger still gets its zero-iteration record, so clients
+    // observe the same shape a post-build trip produces.
+    out.status = (req.cancel != nullptr && req.cancel->cancelled())
+                     ? SolveStatus::Cancelled
+                     : SolveStatus::DeadlineExceeded;
+    AttemptRecord rec;
+    rec.precision = req.desc.solver == SolverKind::GmresIr
+                        ? req.desc.inner_precision
+                        : Precision::Fp64;
+    rec.status = out.status;
+    out.attempts.push_back(rec);
+    return out;
+  }
 
   // Retry-with-promotion: the cached entry (per-rank double hierarchy +
   // globally reduced level maxima) is precision-independent, so a promoted

@@ -52,7 +52,9 @@ namespace hpgmx {
 /// non_finite or stagnated below the top rung is re-executed at the next
 /// wider inner precision (fp16 → bf16 → fp32 → fp64), at most max_retries
 /// times per request. Adaptive requests climb their own ladder in-solve and
-/// are not retried. Deadline/cancel trips are never retried.
+/// are not retried. Deadline/cancel trips are never retried, and neither is
+/// corrupted — an exhausted SDC recovery budget means rollback already
+/// failed repeatedly, which a format promotion does not address.
 struct RetryPolicy {
   bool enabled = true;
   int max_retries = 1;
@@ -65,11 +67,17 @@ struct ServiceConfig {
   int workers = 2;                 ///< solver worker threads
   std::size_t queue_capacity = 16; ///< pending requests before submit() blocks
   std::size_t cache_entries = 8;   ///< OperatorCache LRU capacity
+  /// Build-cost-aware cache admission multiple (HPGMX_CACHE_ADMIT); 0 keeps
+  /// pure LRU. See OperatorCache.
+  double cache_admit = 0.0;
   RetryPolicy retry;               ///< promoted-retry policy
-  ChaosConfig chaos;               ///< fault injection (disabled by default)
+  ChaosConfig chaos;               ///< timing/ordering chaos (off by default)
+  FaultConfig fault;               ///< SDC value-fault injection (off)
+  SdcPolicy sdc;                   ///< SDC detection/recovery policy (off)
 
-  /// HPGMX_SERVICE_WORKERS, HPGMX_SERVICE_QUEUE, HPGMX_SERVICE_CACHE, plus
-  /// RetryPolicy::from_env and ChaosConfig::from_env.
+  /// HPGMX_SERVICE_WORKERS, HPGMX_SERVICE_QUEUE, HPGMX_SERVICE_CACHE,
+  /// HPGMX_CACHE_ADMIT, plus RetryPolicy/ChaosConfig/FaultConfig/SdcPolicy
+  /// ::from_env.
   [[nodiscard]] static ServiceConfig from_env();
 };
 
@@ -95,6 +103,7 @@ struct AttemptRecord {
   Precision precision = Precision::Fp64;
   SolveStatus status = SolveStatus::Rejected;
   int iterations = 0;               ///< total Arnoldi steps over the batch
+  int recoveries = 0;               ///< SDC rollbacks summed over the batch
   double relative_residual = 0.0;   ///< worst (max) across the batch
 };
 
@@ -107,6 +116,9 @@ struct ServiceResult {
   SolveStatus status = SolveStatus::Rejected;
   double setup_seconds = 0.0;  ///< operator acquisition (≈0 on a hit)
   double solve_seconds = 0.0;  ///< solver construction + all-RHS solve wall
+  /// SDC rollbacks of the served attempt, summed over the RHS batch
+  /// (rank-uniform — every rollback decision is allreduce-derived).
+  int recoveries = 0;
   /// Per-RHS outcome of the served attempt, rank-uniform (every stopping
   /// decision is allreduce-derived).
   std::vector<SolveResult> rhs;
